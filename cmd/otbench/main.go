@@ -1,0 +1,96 @@
+// Command otbench regenerates the evaluation of Nath, Maheshwari and
+// Bhatt's orthogonal-trees paper: Tables I–IV, the MST prose claims,
+// the layout-area comparison behind Figs. 1–3, and the Section VIII
+// pipelining measurement. Each artefact prints the measured
+// (simulated) area, time and A·T² next to the paper's asymptotic
+// claims, plus log-log growth fits across the sweep.
+//
+// Usage:
+//
+//	otbench                  # everything, default sweep sizes
+//	otbench -table 3         # just Table III
+//	otbench -sizes 16,64,256 # override the sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	orthotrees "repro"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1-4); 0 = all artefacts")
+	sizes := flag.String("sizes", "", "comma-separated problem sizes (defaults per table)")
+	mst := flag.Bool("mst", false, "also run the MST study (implied by -table 0)")
+	figs := flag.Bool("figs", false, "also run the Figs. 1-3 area sweep (implied by -table 0)")
+	pipeline := flag.Bool("pipeline", false, "also run the §VIII pipelining study (implied by -table 0)")
+	mot3d := flag.Bool("mot3d", false, "also run the §VII-B 3D mesh-of-trees comparison")
+	format := flag.String("format", "text", "output format: text | markdown")
+	flag.Parse()
+
+	all := *table == 0
+	run := func(name string, def []int, f func([]int) (*orthotrees.Experiment, error)) {
+		ns := def
+		if *sizes != "" {
+			ns = parseSizes(*sizes)
+		}
+		e, err := f(ns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "otbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *format == "markdown" {
+			fmt.Println(e.Markdown())
+		} else {
+			fmt.Println(e.Render())
+		}
+	}
+
+	if all || *table == 1 {
+		run("Table I", []int{16, 64, 256}, orthotrees.Table1)
+	}
+	if all || *table == 2 {
+		run("Table II", []int{4, 8, 16}, orthotrees.Table2)
+	}
+	if all || *table == 3 {
+		run("Table III", []int{16, 32, 64, 128}, orthotrees.Table3)
+	}
+	if all || *table == 4 {
+		run("Table IV", []int{16, 64, 256}, orthotrees.Table4)
+	}
+	if all || *mst {
+		run("MST", []int{8, 16, 32, 64}, orthotrees.MSTStudy)
+	}
+	if all || *figs {
+		run("Figs. 1-3", []int{16, 64, 256, 1024}, orthotrees.FigureAreas)
+	}
+	if all || *mot3d {
+		run("3D mesh of trees", []int{4, 8, 16}, orthotrees.MatMul3DStudy)
+	}
+	if all || *pipeline {
+		latency, steady, err := orthotrees.PipelineStudy(64, 16)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "otbench: pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("§VIII pipelining (N=64, 16 batches): single-problem latency %d bit-times, steady-state output interval %d bit-times (%.1fx speedup)\n\n",
+			latency, steady, float64(latency)/float64(steady))
+	}
+}
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "otbench: bad size %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Command otlayout regenerates the paper's layout figures:
+//
+//	Fig. 1 — a (K×K)-OTN (default K=4), row trees above the rows,
+//	         column trees left of the columns, IPs as dots;
+//	Fig. 2 — one OTC cycle;
+//	Fig. 3 — a (K×K)-OTC (the paper prints the left half of the 4×4).
+//
+// Output is SVG (default) or ASCII, plus the measured geometry the
+// simulator consumes: bounding-box area, wire counts, longest wire.
+//
+// Usage:
+//
+//	otlayout -fig 1 -k 4 -o fig1.svg
+//	otlayout -fig 3 -format ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	orthotrees "repro"
+	"repro/internal/vlsi"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure to draw: 1 (OTN), 2 (cycle), 3 (OTC)")
+	k := flag.Int("k", 4, "network side (power of two)")
+	l := flag.Int("l", 4, "cycle length (figs 2 and 3)")
+	format := flag.String("format", "svg", "svg or ascii")
+	out := flag.String("o", "", "output file (default stdout)")
+	words := flag.Int("w", 8, "register width in bits")
+	flag.Parse()
+
+	var chip interface {
+		SVG() string
+		ASCII(int) string
+		Stats() string
+	}
+	switch *fig {
+	case 1:
+		o, err := orthotrees.BuildOTNLayout(*k, *words)
+		fail(err)
+		chip = o.Chip
+		fmt.Fprintf(os.Stderr, "%s\n", o.Chip.Stats())
+		fmt.Fprintf(os.Stderr, "area = %d λ²; Θ(K² log² K) with K=%d, w=%d; longest tree edge %d (Θ(K log K))\n",
+			o.Area(), *k, *words, o.RowTree.EdgeLen[2])
+	case 2:
+		c, err := orthotrees.BuildCycleLayout(*l, *words)
+		fail(err)
+		chip = c.Chip
+		fmt.Fprintf(os.Stderr, "%s\n", c.Chip.Stats())
+	case 3:
+		o, err := orthotrees.BuildOTCLayout(*k, *l, *words)
+		fail(err)
+		chip = o.Chip
+		fmt.Fprintf(os.Stderr, "%s\n", o.Chip.Stats())
+		fmt.Fprintf(os.Stderr, "area = %d λ²; Θ((K·l)²) = Θ(N²) at l = log N\n", o.Area())
+	default:
+		fail(fmt.Errorf("unknown figure %d", *fig))
+	}
+
+	var rendered string
+	switch *format {
+	case "svg":
+		rendered = chip.SVG()
+	case "ascii":
+		scale := 1
+		if *k > 8 {
+			scale = vlsi.Log2Ceil(*k)
+		}
+		rendered = chip.ASCII(scale)
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+
+	if *out == "" {
+		fmt.Print(rendered)
+		return
+	}
+	fail(os.WriteFile(*out, []byte(rendered), 0o644))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otlayout: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,213 @@
+// Command otsim runs one of the paper's algorithms on a chosen
+// network at a chosen size and prints the result, the simulated time
+// in bit-times, the chip area, the A·T² figure of merit, and — with
+// -trace — every communication primitive the machine executed.
+//
+// Usage:
+//
+//	otsim -alg sort -n 64
+//	otsim -alg sort -n 64 -network otc      # Section VI block emulation
+//	otsim -alg sort -n 64 -network scaled   # Thompson scaling [31]
+//	otsim -alg cc -n 32 -model const -trace
+//	otsim -alg mst -n 16 -summary           # primitive-mix statistics
+//	otsim -alg matmul -n 8
+//	otsim -alg bitonic -n 64
+//	otsim -alg dft -n 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/big"
+	"os"
+
+	orthotrees "repro"
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+func main() {
+	alg := flag.String("alg", "sort", "sort | bitonic | cc | mst | matmul | dft | closure | intmul | matmul3d")
+	n := flag.Int("n", 64, "problem size (power of two; even power for bitonic/dft)")
+	network := flag.String("network", "otn", "otn | otc (OTC = Section VI block emulation)")
+	model := flag.String("model", "log", "wire-delay model: log | const | linear")
+	seed := flag.Uint64("seed", 1983, "workload seed")
+	trace := flag.Bool("trace", false, "print every communication primitive")
+	summary := flag.Bool("summary", false, "print the primitive-mix summary after the run")
+	flag.Parse()
+
+	var dm vlsi.DelayModel
+	switch *model {
+	case "log":
+		dm = vlsi.LogDelay{}
+	case "const":
+		dm = vlsi.ConstantDelay{}
+	case "linear":
+		dm = vlsi.LinearDelay{}
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+
+	rng := orthotrees.NewRNG(*seed)
+	var recorder *orthotrees.TraceRecorder
+	machine := func(k int) *orthotrees.Machine {
+		cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: dm}
+		var m *orthotrees.Machine
+		var err error
+		switch *network {
+		case "otn":
+			m, err = orthotrees.NewOTNWith(k, cfg)
+		case "scaled":
+			m, err = orthotrees.NewScaledOTN(k, cfg)
+		case "otc":
+			l := 1 << uint(vlsi.Log2Floor(vlsi.Log2Ceil(k)))
+			if l < 2 {
+				l = 2
+			}
+			m, err = orthotrees.NewEmulatedOTN(k, l, cfg)
+		default:
+			err = fmt.Errorf("unknown network %q", *network)
+		}
+		fail(err)
+		switch {
+		case *summary:
+			recorder = &orthotrees.TraceRecorder{}
+			recorder.Attach(m)
+		case *trace:
+			m.Tracer = func(op string, vec core.Vector, start, end vlsi.Time) {
+				fmt.Printf("  t=%-8d %-18s %-12s done t=%d\n", start, op, vec, end)
+			}
+		}
+		return m
+	}
+
+	var elapsed orthotrees.Time
+	var area orthotrees.Area
+	switch *alg {
+	case "sort":
+		m := machine(*n)
+		xs := rng.Perm(*n)
+		sorted, t := orthotrees.Sort(m, xs)
+		fmt.Printf("sorted %d numbers; first/last = %d/%d\n", *n, sorted[0], sorted[len(sorted)-1])
+		elapsed, area = t, m.Area()
+	case "bitonic":
+		k := sideOf(*n)
+		m := machine(k)
+		xs := rng.Ints(*n, 1<<20)
+		sorted, t := orthotrees.BitonicSort(m, xs)
+		fmt.Printf("bitonic-sorted %d numbers; first/last = %d/%d\n", *n, sorted[0], sorted[len(sorted)-1])
+		elapsed, area = t, m.Area()
+	case "cc":
+		m := machine(*n)
+		g := rng.Gnp(*n, 2.0/float64(*n))
+		orthotrees.LoadGraph(m, g)
+		labels, t := orthotrees.ConnectedComponents(m)
+		comp := map[int64]bool{}
+		for _, l := range labels {
+			comp[l] = true
+		}
+		fmt.Printf("graph with %d vertices, %d edges: %d components\n", *n, g.EdgeCount(), len(comp))
+		elapsed, area = t, m.Area()
+	case "mst":
+		m := machine(*n)
+		w := rng.WeightMatrix(*n)
+		orthotrees.LoadWeights(m, w)
+		edges, t := orthotrees.MinSpanningTree(m)
+		var total int64
+		for _, e := range edges {
+			total += e.W
+		}
+		fmt.Printf("MST of complete %d-vertex graph: %d edges, weight %d\n", *n, len(edges), total)
+		elapsed, area = t, m.Area()
+	case "matmul":
+		m, err := orthotrees.NewMatMulMachine(*n)
+		fail(err)
+		a := rng.BoolMatrix(*n, 0.4)
+		b := rng.BoolMatrix(*n, 0.4)
+		c, t := orthotrees.BoolMatMul(m, a, b)
+		ones := 0
+		for i := range c {
+			for j := range c[i] {
+				ones += int(c[i][j])
+			}
+		}
+		fmt.Printf("Boolean %d×%d product: %d ones\n", *n, *n, ones)
+		elapsed, area = t, m.Area()
+	case "dft":
+		k := sideOf(*n)
+		m := machine(k)
+		xs := rng.ComplexSignal(*n)
+		spec, t := orthotrees.DFT(m, xs)
+		fmt.Printf("%d-point DFT; |X[0]| = %.3f\n", *n, abs(spec[0]))
+		elapsed, area = t, m.Area()
+	case "closure":
+		m, err := orthotrees.NewMatMulMachine(*n)
+		fail(err)
+		adj := rng.BoolMatrix(*n, 0.2)
+		closure, t := orthotrees.TransitiveClosure(m, adj)
+		reach := 0
+		for i := range closure {
+			for j := range closure[i] {
+				reach += int(closure[i][j])
+			}
+		}
+		fmt.Printf("transitive closure of %d vertices: %d reachable pairs\n", *n, reach)
+		elapsed, area = t, m.Area()
+	case "intmul":
+		m := machine(*n)
+		bits := *n * 4
+		x := new(big.Int).Lsh(big.NewInt(1), uint(bits-1))
+		x.Sub(x, big.NewInt(12345))
+		y := new(big.Int).Lsh(big.NewInt(1), uint(bits-2))
+		y.Add(y, big.NewInt(6789))
+		p, t := orthotrees.MultiplyIntegers(m, x, y)
+		fmt.Printf("%d-bit × %d-bit integer product has %d bits\n", x.BitLen(), y.BitLen(), p.BitLen())
+		elapsed, area = t, m.Area()
+	case "matmul3d":
+		m3, err := orthotrees.NewMoT3D(*n, orthotrees.DefaultConfig(*n**n**n))
+		fail(err)
+		a := rng.BoolMatrix(*n, 0.4)
+		bm := rng.BoolMatrix(*n, 0.4)
+		c, t := m3.MatMul(a, bm, true, 0)
+		ones := 0
+		for i := range c {
+			for j := range c[i] {
+				ones += int(c[i][j])
+			}
+		}
+		fmt.Printf("3D mesh-of-trees Boolean %d×%d product: %d ones\n", *n, *n, ones)
+		elapsed, area = t, m3.Area()
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	metric := orthotrees.Metric{Area: area, Time: elapsed}
+	fmt.Printf("network=%s model=%s N=%d: time=%d bit-times, area=%d λ², A·T²=%.4g\n",
+		*network, dm.Name(), *n, elapsed, area, metric.AT2())
+	if recorder != nil {
+		fmt.Print(recorder.Summary())
+	}
+}
+
+func sideOf(n int) int {
+	k := 1
+	for k*k < n {
+		k *= 2
+	}
+	if k*k != n {
+		fail(fmt.Errorf("size %d is not an even power of two", n))
+	}
+	return k
+}
+
+func abs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otsim: %v\n", err)
+		os.Exit(1)
+	}
+}

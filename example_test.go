@@ -1,0 +1,67 @@
+package orthotrees_test
+
+import (
+	"fmt"
+
+	orthotrees "repro"
+)
+
+// The basic workflow: build a machine, run an algorithm, read the
+// answer and its simulated cost.
+func Example() {
+	m, err := orthotrees.NewOTN(8)
+	if err != nil {
+		panic(err)
+	}
+	sorted, _ := orthotrees.Sort(m, []int64{5, 3, 7, 1, 6, 2, 8, 4})
+	fmt.Println(sorted)
+	// Output: [1 2 3 4 5 6 7 8]
+}
+
+// Sorting charges time under Thompson's model; the constant-delay
+// model of Section VII-D is strictly faster on the same machine size.
+func ExampleSort() {
+	xs := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0, 15, 10, 14, 11, 13, 12}
+	mLog, _ := orthotrees.NewOTNWith(16, orthotrees.Config{WordBits: 8, Model: orthotrees.LogDelay{}})
+	mConst, _ := orthotrees.NewOTNWith(16, orthotrees.Config{WordBits: 8, Model: orthotrees.ConstantDelay{}})
+	sorted, tLog := orthotrees.Sort(mLog, xs)
+	_, tConst := orthotrees.Sort(mConst, xs)
+	fmt.Println(sorted[0], sorted[15], tConst < tLog)
+	// Output: 0 15 true
+}
+
+// Connected components of a graph resident in the base (Table III's
+// workload).
+func ExampleConnectedComponents() {
+	m, _ := orthotrees.NewOTN(8)
+	g := orthotrees.NewRNG(1).Gnp(8, 0) // no edges: 8 singletons
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	orthotrees.LoadGraph(m, g)
+	labels, _ := orthotrees.ConnectedComponents(m)
+	fmt.Println(labels[0] == labels[2], labels[0] == labels[3])
+	// Output: true false
+}
+
+// Boolean matrix product on the Table II machine.
+func ExampleBoolMatMul() {
+	m, _ := orthotrees.NewMatMulMachine(2)
+	a := [][]int64{{1, 0}, {0, 1}} // identity
+	b := [][]int64{{0, 1}, {1, 0}} // swap
+	c, _ := orthotrees.BoolMatMul(m, a, b)
+	fmt.Println(c)
+	// Output: [[0 1] [1 0]]
+}
+
+// The OTC emulation (Section VI) runs the same programs with less
+// area.
+func ExampleNewEmulatedOTN() {
+	cfg := orthotrees.DefaultConfig(16 * 16)
+	emu, _ := orthotrees.NewEmulatedOTN(16, 4, cfg)
+	native, _ := orthotrees.NewOTNWith(16, cfg)
+	xs := orthotrees.NewRNG(2).Perm(16)
+	a, _ := orthotrees.Sort(emu, xs)
+	b, _ := orthotrees.Sort(native, xs)
+	fmt.Println(a[0] == b[0], emu.Area() < native.Area())
+	// Output: true true
+}

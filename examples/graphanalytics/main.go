@@ -1,0 +1,82 @@
+// Graph analytics on the orthogonal tree cycles.
+//
+// The problems the paper's introduction leads with: connected
+// components and a minimum spanning tree of an undirected graph in
+// the adjacency-matrix representation — the workloads where the
+// OTN/OTC's A·T² beats every other network class (Table III).
+//
+// The example runs both algorithms twice: on a native (N×N)-OTN and
+// on the Section VI OTC emulation, showing the same answers and the
+// same Θ(log⁴ N) time class in a log² N smaller area.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orthotrees "repro"
+)
+
+func main() {
+	const n = 64
+	rng := orthotrees.NewRNG(7)
+
+	// A sparse random graph around the connectivity threshold, so it
+	// has several nontrivial components.
+	g := rng.Gnp(n, 1.5/float64(n))
+	fmt.Printf("G(%d, 1.5/n): %d edges\n", n, g.EdgeCount())
+
+	otn, err := orthotrees.NewOTN(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orthotrees.LoadGraph(otn, g)
+	labels, tOTN := orthotrees.ConnectedComponents(otn)
+
+	otcM, err := orthotrees.NewEmulatedOTN(n, 4, orthotrees.DefaultConfig(n*n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	orthotrees.LoadGraph(otcM, g)
+	labelsOTC, tOTC := orthotrees.ConnectedComponents(otcM)
+
+	comp := map[int64]int{}
+	for _, l := range labels {
+		comp[l]++
+	}
+	fmt.Printf("components: %d (largest %d vertices)\n", len(comp), largest(comp))
+	agree := true
+	for v := range labels {
+		if labels[v] != labelsOTC[v] {
+			agree = false
+		}
+	}
+	fmt.Printf("OTN:  time %6d bit-times, area %9d λ²\n", tOTN, otn.Area())
+	fmt.Printf("OTC:  time %6d bit-times, area %9d λ²  (same labels: %v)\n", tOTC, otcM.Area(), agree)
+	fmt.Printf("area saving: %.1fx for %.1fx the time — the Table III trade\n\n",
+		float64(otn.Area())/float64(otcM.Area()), float64(tOTC)/float64(tOTN))
+
+	// Minimum spanning tree of a complete weighted graph.
+	w := rng.WeightMatrix(n)
+	orthotrees.LoadWeights(otn, w)
+	edges, tMST := orthotrees.MinSpanningTree(otn)
+	var total int64
+	for _, e := range edges {
+		total += e.W
+	}
+	fmt.Printf("MST of complete K%d: %d edges, total weight %d, %d bit-times\n",
+		n, len(edges), total, tMST)
+	fmt.Printf("first edges: %v %v %v\n", edges[0], edges[1], edges[2])
+}
+
+func largest(comp map[int64]int) int {
+	best := 0
+	for _, c := range comp {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,64 @@
+// Pipelined matrix multiplication on the OTN (Section III-A) and the
+// Table II mesh-of-trees configuration.
+//
+// Part 1 streams the rows of A through a (N×N)-OTN holding B: after
+// the pipeline fills, a result row emerges every Θ(log N) bit-times —
+// the throughput feature (Section VIII, point 4) that the mesh, PSN
+// and CCC lack.
+//
+// Part 2 multiplies Boolean matrices on the big mesh of trees in
+// Θ(log² N) total time — the Table II configuration whose A·T² beats
+// the PSN/CCC by ~N².
+//
+//	go run ./examples/matmulpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orthotrees "repro"
+)
+
+func main() {
+	const n = 32
+	rng := orthotrees.NewRNG(11)
+
+	// Part 1: pipelined A·B with B resident.
+	m, err := orthotrees.NewOTN(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := rng.IntMatrix(n, 100)
+	b := rng.IntMatrix(n, 100)
+	c, rowTimes := orthotrees.MatMul(m, a, b)
+
+	fmt.Printf("C = A·B for %d×%d ints; C[0][:6] = %v\n", n, n, c[0][:6])
+	fmt.Printf("first row done at %d bit-times\n", rowTimes[0])
+	fmt.Printf("last  row done at %d bit-times\n", rowTimes[n-1])
+	gap := rowTimes[n-1] - rowTimes[n-2]
+	fmt.Printf("steady-state inter-row gap: %d bit-times ≈ Θ(log N) (word = %d bits)\n",
+		gap, m.WordBits())
+	fmt.Printf("pipeline speedup over row-at-a-time: %.1fx\n\n",
+		float64(int64(rowTimes[0])*int64(n))/float64(rowTimes[n-1]))
+
+	// Part 2: Boolean product on the Table II machine.
+	const nb = 8
+	big, err := orthotrees.NewMatMulMachine(nb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ba := rng.BoolMatrix(nb, 0.3)
+	bb := rng.BoolMatrix(nb, 0.3)
+	bc, t := orthotrees.BoolMatMul(big, ba, bb)
+	ones := 0
+	for i := range bc {
+		for j := range bc[i] {
+			ones += int(bc[i][j])
+		}
+	}
+	metric := orthotrees.Metric{Area: big.Area(), Time: t}
+	fmt.Printf("Boolean %d×%d product on the (n²×n²) mesh of trees: %d ones\n", nb, nb, ones)
+	fmt.Printf("time %d bit-times (Θ(log² N)), area %d λ², A·T² = %.4g\n",
+		t, big.Area(), metric.AT2())
+}

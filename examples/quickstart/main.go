@@ -1,0 +1,47 @@
+// Quickstart: sort numbers on an orthogonal trees network.
+//
+// Builds a (64×64)-OTN under Thompson's logarithmic wire-delay model,
+// presents 64 numbers at the input ports (the row-tree roots), runs
+// the paper's SORT-OTN, and reads the sorted sequence from the output
+// ports (the column-tree roots) — all in Θ(log² N) simulated
+// bit-times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orthotrees "repro"
+)
+
+func main() {
+	const n = 64
+
+	m, err := orthotrees.NewOTN(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	xs := orthotrees.NewRNG(42).Perm(n)
+	sorted, elapsed := orthotrees.Sort(m, xs)
+
+	fmt.Printf("input  (first 10): %v\n", xs[:10])
+	fmt.Printf("output (first 10): %v\n", sorted[:10])
+	fmt.Printf("simulated time: %d bit-times (Θ(log² N))\n", elapsed)
+	fmt.Printf("chip area:      %d λ² (Θ(N² log² N))\n", m.Area())
+	metric := orthotrees.Metric{Area: m.Area(), Time: elapsed}
+	fmt.Printf("A·T²:           %.4g\n", metric.AT2())
+
+	// The same sort under the constant-delay model of Section VII-D
+	// — one factor of log N faster.
+	mc, err := orthotrees.NewOTNWith(n, orthotrees.Config{
+		WordBits: 8, Model: orthotrees.ConstantDelay{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, fast := orthotrees.Sort(mc, xs)
+	fmt.Printf("constant-delay model: %d bit-times (vs %d)\n", fast, elapsed)
+}

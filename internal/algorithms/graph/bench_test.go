@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func BenchmarkConnectedComponents64(b *testing.B) {
+	m, err := core.NewDefault(64, 64*64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.NewRNG(1).Gnp(64, 0.05)
+	LoadGraph(m, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		ConnectedComponents(m, 0)
+	}
+}
+
+func BenchmarkMinSpanningTree32(b *testing.B) {
+	m, err := core.NewDefault(32, 32*32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.NewRNG(2).WeightMatrix(32)
+	LoadWeights(m, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		MinSpanningTree(m, 0)
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms/matrix"
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// TransitiveClosure computes the reflexive-transitive closure of an
+// n-vertex graph on a Table II machine (matrix.BigMachine(n)) by
+// repeated Boolean squaring: R ← R ∨ R², ⌈log n⌉ rounds of the
+// Θ(log² n) mesh-of-trees product, for Θ(log³ n) bit-times in all.
+// This covers the closure half of the paper's "matrix manipulation
+// problems … such as finding the connected components" class (Savage
+// [27] is the A·T² lower-bound reference the paper cites for it).
+//
+// adj may be directed; the closure includes the diagonal.
+func TransitiveClosure(m *core.Machine, adj [][]int64, rel vlsi.Time) ([][]int64, vlsi.Time) {
+	n := len(adj)
+	if n*n != m.K {
+		panic(fmt.Sprintf("graph: closure of %d vertices needs a BigMachine(%d), machine side is %d", n, n, m.K))
+	}
+	r := make([][]int64, n)
+	for i := range r {
+		r[i] = append([]int64(nil), adj[i]...)
+		r[i][i] = 1
+	}
+	t := rel
+	for round := 0; round < vlsi.Log2Ceil(n); round++ {
+		var sq [][]int64
+		sq, t = matrix.BigMatMul(m, r, r, true, t)
+		changed := false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if sq[i][j] != 0 && r[i][j] == 0 {
+					r[i][j] = 1
+					changed = true
+				}
+			}
+		}
+		// The ∨ is one local bit operation per cell.
+		t = m.Local(t, 1)
+		if !changed {
+			break
+		}
+	}
+	return r, t
+}
+
+// ComponentsFromClosure labels an undirected graph's vertices with
+// the minimum reachable vertex, given its closure matrix — the
+// closure route to Table III's problem, cross-validating the
+// CONNECT-style algorithm.
+func ComponentsFromClosure(closure [][]int64) []int64 {
+	labels := make([]int64, len(closure))
+	for v := range closure {
+		for u := range closure[v] {
+			if closure[v][u] != 0 {
+				labels[v] = int64(u)
+				break
+			}
+		}
+	}
+	return labels
+}
+
+// RefClosure is the Floyd–Warshall reference.
+func RefClosure(adj [][]int64) [][]int64 {
+	n := len(adj)
+	r := make([][]int64, n)
+	for i := range r {
+		r[i] = append([]int64(nil), adj[i]...)
+		r[i][i] = 1
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if r[i][k] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r[k][j] != 0 {
+					r[i][j] = 1
+				}
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms/matrix"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func adjOf(g *workload.Graph) [][]int64 {
+	adj := make([][]int64, g.N)
+	for i := range adj {
+		adj[i] = make([]int64, g.N)
+		for j := range adj[i] {
+			if g.Adj[i][j] {
+				adj[i][j] = 1
+			}
+		}
+	}
+	return adj
+}
+
+func TestRefClosure(t *testing.T) {
+	adj := [][]int64{
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+	}
+	r := RefClosure(adj)
+	if r[0][2] != 1 || r[0][3] != 0 || r[0][0] != 1 {
+		t.Errorf("reference closure wrong: %v", r)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		m, err := matrix.BigMachine(n, vlsi.LogDelay{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := workload.NewRNG(uint64(n)+3).Gnp(n, 0.25)
+		adj := adjOf(g)
+		got, done := TransitiveClosure(m, adj, 0)
+		want := RefClosure(adj)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("n=%d: closure wrong at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		if done <= 0 {
+			t.Error("closure took no time")
+		}
+	}
+}
+
+func TestTransitiveClosureDirected(t *testing.T) {
+	// A directed chain: reachability is upper-triangular.
+	n := 8
+	adj := make([][]int64, n)
+	for i := range adj {
+		adj[i] = make([]int64, n)
+		if i+1 < n {
+			adj[i][i+1] = 1
+		}
+	}
+	m, err := matrix.BigMachine(n, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := TransitiveClosure(m, adj, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := int64(0)
+			if j >= i {
+				want = 1
+			}
+			if got[i][j] != want {
+				t.Fatalf("chain closure wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureQuick(t *testing.T) {
+	m, err := matrix.BigMachine(4, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		adj := workload.NewRNG(seed).BoolMatrix(4, 0.3)
+		m.Reset()
+		got, _ := TransitiveClosure(m, adj, 0)
+		want := RefClosure(adj)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitiveClosureArity(t *testing.T) {
+	m, err := matrix.BigMachine(4, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong size accepted")
+		}
+	}()
+	TransitiveClosure(m, make([][]int64, 3), 0)
+}
+
+// TestClosureCrossValidatesComponents: the closure path and the
+// CONNECT-style path to Table III must induce the same partition.
+func TestClosureCrossValidatesComponents(t *testing.T) {
+	n := 8
+	g := workload.NewRNG(91).Gnp(n, 0.2)
+	adj := adjOf(g)
+
+	big, err := matrix.BigMachine(n, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure, _ := TransitiveClosure(big, adj, 0)
+	viaClosure := ComponentsFromClosure(closure)
+
+	if !SamePartition(viaClosure, RefComponents(g)) {
+		t.Error("closure-derived components disagree with union-find")
+	}
+}

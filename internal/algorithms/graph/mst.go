@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// LoadWeights stores the symmetric weight matrix into the base of m;
+// entries ≤ 0 mean "no edge". The paper stores the whole N×N weight
+// matrix on chip for the MST algorithm (Section VI notes this is what
+// keeps the OTC's MST area at Θ(N² log N)).
+func LoadWeights(m *core.Machine, w [][]int64) {
+	if len(w) != m.K {
+		panic(fmt.Sprintf("graph: %d×? weights on a (%d×%d)-OTN", len(w), m.K, m.K))
+	}
+	for v := range w {
+		for u := range w[v] {
+			x := core.Null
+			if w[v][u] > 0 {
+				x = w[v][u]
+			}
+			m.Set(regW, v, u, x)
+		}
+	}
+}
+
+// packEdge encodes (weight, endpoint u, endpoint v) so that MIN
+// ascents pick the lightest edge with deterministic tie-breaking —
+// the double-length words the paper pays a log factor of storage for.
+func packEdge(n int, w int64, u, v int) int64 {
+	return (w*int64(n)+int64(u))*int64(n) + int64(v)
+}
+
+// unpackEdge inverts packEdge.
+func unpackEdge(n int, p int64) (w int64, u, v int) {
+	v = int(p % int64(n))
+	p /= int64(n)
+	u = int(p % int64(n))
+	return p / int64(n), u, v
+}
+
+// MinSpanningTree computes the minimum spanning forest of the graph
+// whose weight matrix is resident in m (via LoadWeights), by
+// Sollin/Borůvka iterations run entirely through OTN primitives: each
+// round every component finds its lightest outgoing edge (a MIN
+// ascent per row with packed edge words, then a MIN per column after
+// staging at column D(v)), the chosen edges hook the components (only
+// mutual pairs can cycle — both sides pick the same lightest edge —
+// and the pair keeps one copy), and pointer jumping collapses the
+// forest. ⌈log N⌉ rounds of Θ(log³ N) give the paper's Θ(log⁴ N)
+// time; the weight words are Θ(log N) bits longer than labels, which
+// is where Table III's extra log factor of area/storage goes.
+//
+// It returns the forest edges and the completion time. With distinct
+// weights the forest is the unique MSF.
+func MinSpanningTree(m *core.Machine, rel vlsi.Time) ([]Edge, vlsi.Time) {
+	n := m.K
+	d := make([]int64, n)
+	for v := range d {
+		d[v] = int64(v)
+	}
+	var forest []Edge
+	t := rel
+	maxRounds := vlsi.Log2Ceil(n) + 2
+	for round := 0; round < maxRounds; round++ {
+		var changed bool
+		d, t, changed = mstRound(m, d, &forest, t)
+		if !changed {
+			break
+		}
+	}
+	sort.Slice(forest, func(i, j int) bool {
+		if forest[i].U != forest[j].U {
+			return forest[i].U < forest[j].U
+		}
+		return forest[i].V < forest[j].V
+	})
+	return forest, t
+}
+
+func mstRound(m *core.Machine, d []int64, forest *[]Edge, rel vlsi.Time) ([]int64, vlsi.Time, bool) {
+	n := m.K
+
+	// Distribute labels exactly as in the components algorithm.
+	t := m.ParDo(false, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		m.SetColRoot(vec.Index, d[vec.Index])
+		return m.RootToLeaf(vec, nil, regDcol, r)
+	})
+	t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		m.SetRowRoot(vec.Index, d[vec.Index])
+		return m.RootToLeaf(vec, nil, regDrow, r)
+	})
+	// Candidate at BP(v,u): the packed edge (W(v,u), v, u) if it
+	// leaves v's component. Packed words are double length: charge
+	// two word comparisons.
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			c := core.Null
+			w := m.Get(regW, v, u)
+			if w != core.Null && m.Get(regDcol, v, u) != m.Get(regDrow, v, u) {
+				c = packEdge(n, w, v, u)
+			}
+			m.Set(regCand, v, u, c)
+		}
+	}
+	t = m.Local(t, 2*m.CostCompare())
+	// Lightest outgoing edge of each vertex (row MIN).
+	best := make([]int64, n)
+	t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		done := m.MinLeafToRoot(vec, nil, regCand, r)
+		best[vec.Index] = m.RowRoot(vec.Index)
+		return done
+	})
+	// Stage at column D(v) and take the component-wide MIN.
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			m.Set(regT, v, u, core.Null)
+		}
+	}
+	t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		v := vec.Index
+		if best[v] == core.Null {
+			return r
+		}
+		m.SetRowRoot(v, best[v])
+		return m.RootToLeaf(vec, core.One(int(d[v])), regT, r)
+	})
+	compBest := make([]int64, n)
+	t = m.ParDo(false, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		done := m.MinLeafToRoot(vec, nil, regT, r)
+		compBest[vec.Index] = m.ColRoot(vec.Index)
+		return done
+	})
+
+	// Hook along the chosen edges. A mutual pair has necessarily
+	// chosen the same (unique lightest) edge; keep one copy and hook
+	// the larger label to the smaller.
+	newD := append([]int64(nil), d...)
+	changed := false
+	for s := 0; s < n; s++ {
+		if d[s] != int64(s) || compBest[s] == core.Null {
+			continue
+		}
+		_, v, u := unpackEdge(n, compBest[s])
+		target := d[u]
+		if target == int64(s) {
+			continue // should not happen: edge was outgoing
+		}
+		partner := int(target)
+		mutual := d[partner] == target && compBest[partner] != core.Null
+		if mutual {
+			_, _, pu := unpackEdge(n, compBest[partner])
+			if int(d[pu]) == s && int64(s) < target {
+				// The partner hooks to us; we stay a root but the
+				// edge still joins the components — record it once
+				// (the partner's copy is suppressed below).
+				*forest = append(*forest, normalize(Edge{U: v, V: u, W: weightOf(m, v, u)}))
+				changed = true
+				continue
+			}
+			if int(d[pu]) == s && int64(s) > target {
+				// Our hook survives; the partner recorded the edge.
+				newD[s] = target
+				changed = true
+				continue
+			}
+		}
+		newD[s] = target
+		*forest = append(*forest, normalize(Edge{U: v, V: u, W: weightOf(m, v, u)}))
+		changed = true
+	}
+	t = m.ParDo(false, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		return m.RootToLeaf(vec, core.One(vec.Index%m.K), regT, r)
+	})
+
+	// Pointer jumping, as in the components algorithm.
+	for j := 0; j < vlsi.Log2Ceil(n); j++ {
+		prev := append([]int64(nil), newD...)
+		t = m.ParDo(false, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+			m.SetColRoot(vec.Index, prev[vec.Index])
+			return m.RootToLeaf(vec, nil, regDcol, r)
+		})
+		t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+			v := vec.Index
+			done := m.LeafToRoot(vec, core.One(int(prev[v])), regDcol, r)
+			newD[v] = m.RowRoot(v)
+			return done
+		})
+	}
+	return newD, t, changed
+}
+
+func weightOf(m *core.Machine, v, u int) int64 { return m.Get(regW, v, u) }
+
+func normalize(e Edge) Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// RefMST is a Prim-style reference returning the minimum spanning
+// forest weight and edge count for the weight matrix (entries ≤ 0
+// mean no edge).
+func RefMST(w [][]int64) (total int64, edges int) {
+	n := len(w)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		in := []int{start}
+		for {
+			bestW := int64(-1)
+			bestV := -1
+			for _, u := range in {
+				for v := 0; v < n; v++ {
+					if !seen[v] && w[u][v] > 0 && (bestW < 0 || w[u][v] < bestW) {
+						bestW = w[u][v]
+						bestV = v
+					}
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			seen[bestV] = true
+			in = append(in, bestV)
+			total += bestW
+			edges++
+		}
+	}
+	return total, edges
+}

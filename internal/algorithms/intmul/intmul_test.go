@@ -1,0 +1,139 @@
+package intmul
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func machine(t testing.TB, k int) *core.Machine {
+	t.Helper()
+	m, err := core.NewDefault(k, k*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	v := big.NewInt(0xDEADBEEF)
+	ds := Digits(v, 16)
+	if got := FromDigits(ds); got.Cmp(v) != 0 {
+		t.Errorf("round trip: %v -> %v", v, got)
+	}
+	// Little-endian nibbles of 0xDEADBEEF.
+	want := []int64{0xF, 0xE, 0xE, 0xB, 0xD, 0xA, 0xE, 0xD}
+	for i, w := range want {
+		if ds[i] != w {
+			t.Errorf("digit %d = %x, want %x", i, ds[i], w)
+		}
+	}
+}
+
+func TestDigitsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overflowing operand accepted")
+		}
+	}()
+	Digits(big.NewInt(1<<20), 4) // 20 bits into 16
+}
+
+func TestDigitsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative operand accepted")
+		}
+	}()
+	Digits(big.NewInt(-1), 4)
+}
+
+func TestFromDigitsCarries(t *testing.T) {
+	// Digits exceeding the base are carried correctly: 17·16⁰ + 1·16¹
+	// = 17 + 16 = 33.
+	if got := FromDigits([]int64{17, 1}); got.Int64() != 33 {
+		t.Errorf("carry resolution: %v, want 33", got)
+	}
+}
+
+func TestMultiplySmall(t *testing.T) {
+	m := machine(t, 4) // 4 nibbles: operands < 2^16
+	cases := [][2]int64{
+		{0, 0}, {1, 1}, {255, 255}, {12345, 54321 % 65536}, {65535, 65535},
+	}
+	for _, c := range cases {
+		x, y := big.NewInt(c[0]), big.NewInt(c[1])
+		got, done := Multiply(m, x, y, 0)
+		want := new(big.Int).Mul(x, y)
+		if got.Cmp(want) != 0 {
+			t.Errorf("%v · %v = %v, want %v", x, y, got, want)
+		}
+		if done <= 0 {
+			t.Error("multiply took no time")
+		}
+	}
+}
+
+func TestMultiplyLarge(t *testing.T) {
+	k := 32 // 128-bit operands
+	m := machine(t, k)
+	rng := workload.NewRNG(77)
+	for trial := 0; trial < 5; trial++ {
+		x := randomBig(rng, k*DigitBits)
+		y := randomBig(rng, k*DigitBits)
+		got, _ := Multiply(m, x, y, 0)
+		want := new(big.Int).Mul(x, y)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: wrong product", trial)
+		}
+	}
+}
+
+func randomBig(rng *workload.RNG, bits int) *big.Int {
+	out := new(big.Int)
+	for b := 0; b < bits; b += 32 {
+		out.Lsh(out, 32)
+		out.Add(out, big.NewInt(int64(rng.Uint64()&0xFFFFFFFF)))
+	}
+	out.Rsh(out, uint(out.BitLen()-bits+1)) // keep strictly under 2^bits
+	if out.Sign() < 0 {
+		out.Neg(out)
+	}
+	return out
+}
+
+func TestMultiplyQuick(t *testing.T) {
+	m := machine(t, 8) // 32-bit operands
+	f := func(a, b uint32) bool {
+		x, y := new(big.Int).SetUint64(uint64(a)), new(big.Int).SetUint64(uint64(b))
+		got, _ := Multiply(m, x, y, 0)
+		want := new(big.Int).Mul(x, y)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiplyTimeShape: the skew dominates — Θ(K log K) — so the
+// time over a K sweep grows roughly linearly.
+func TestMultiplyTimeShape(t *testing.T) {
+	var ks, times []float64
+	rng := workload.NewRNG(9)
+	for k := 4; k <= 32; k *= 2 {
+		m := machine(t, k)
+		x := randomBig(rng, k*DigitBits)
+		y := randomBig(rng, k*DigitBits)
+		_, done := Multiply(m, x, y, 0)
+		ks = append(ks, float64(k))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(ks, times)
+	if e < 0.5 || e > 1.7 {
+		t.Errorf("integer multiply time grows as K^%.2f; want ~K", e)
+	}
+}

@@ -1,0 +1,121 @@
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// This file implements the Table II configuration: multiplying two
+// n×n matrices in Θ(log² n) bit-times on a mesh of trees with an
+// n²×n² base — the arrangement whose OTC form Section VI sizes at
+// Θ(N⁴) area and Θ(log² N) time. Result entry C(i,j) is produced by
+// row tree r = i·n+j; operand entries enter through the column roots
+// (two words per port: column (k,l) holds A(l,k) and B(k,l)), so all
+// n² inputs per operand stream in simultaneously.
+//
+// The operand alignment uses the segmented-subtree move: within row
+// (i,j), the word A(i,k) delivered to leaf (k,i) hops to leaf (k,j)
+// through the size-n subtree that spans block k — every k in
+// parallel, in disjoint subtrees, so the move costs one tree
+// traversal, not n.
+
+// BigMachine returns an OTN machine sized for NewBigMatMul of n×n
+// matrices: base side n².
+func BigMachine(n int, model vlsi.DelayModel) (*core.Machine, error) {
+	if !vlsi.IsPow2(n) {
+		return nil, fmt.Errorf("matrix: big matmul side %d is not a power of two", n)
+	}
+	k := n * n
+	return core.New(k, vlsi.Config{WordBits: vlsi.WordBitsFor(k), Model: model})
+}
+
+// BigMatMul computes C = A·B on a machine built by BigMachine(n).
+// boolean selects the AND/OR semiring of Table II. It returns C and
+// the completion time.
+func BigMatMul(m *core.Machine, a, b [][]int64, boolean bool, rel vlsi.Time) ([][]int64, vlsi.Time) {
+	n := isqrt(m.K)
+	if n*n != m.K {
+		panic(fmt.Sprintf("matrix: machine side %d is not a square", m.K))
+	}
+	if len(a) != n || len(b) != n {
+		panic(fmt.Sprintf("matrix: %d×%d operands on an (n²=%d) machine", len(a), len(b), m.K))
+	}
+
+	// Phase 1+2: column (k,l) broadcasts A(l,k) then B(k,l), the two
+	// words pipelined down the same tree.
+	t := m.ParDo(false, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		k, l := vec.Index/n, vec.Index%n
+		m.SetColRoot(vec.Index, a[l][k])
+		t1 := m.RootToLeaf(vec, nil, core.RegA, r)
+		m.SetColRoot(vec.Index, b[k][l])
+		// The second word follows in the tree pipeline; its release
+		// is one word-time after the first enters.
+		t2 := m.RootToLeaf(vec, nil, core.RegB, r+m.WordTime())
+		return vlsi.MaxTime(t1, t2)
+	})
+
+	// Phase 3: align A. Within row (i,j), move RegA from leaf (k,i)
+	// to RegC of leaf (k,j) for every k — disjoint block subtrees.
+	t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		i, j := vec.Index/n, vec.Index%n
+		router := m.Router(vec)
+		done := r
+		for k := 0; k < n; k++ {
+			src, dst := k*n+i, k*n+j
+			m.Set(core.RegC, vec.Index, dst, m.Get(core.RegA, vec.Index, src))
+			if d := router.Route(router.Leaf(src), router.Leaf(dst), r); d > done {
+				done = d
+			}
+		}
+		return done
+	})
+
+	// Phase 4: multiply at the active leaves (l == j).
+	for ri := 0; ri < m.K; ri++ {
+		j := ri % n
+		for k := 0; k < n; k++ {
+			c := k*n + j
+			av, bv := m.Get(core.RegC, ri, c), m.Get(core.RegB, ri, c)
+			var p int64
+			if boolean {
+				if av != 0 && bv != 0 {
+					p = 1
+				}
+			} else {
+				p = av * bv
+			}
+			m.Set(core.RegD, ri, c, p)
+		}
+	}
+	t = m.Local(t, m.CostMul())
+
+	// Phase 5: row tree (i,j) sums its active leaves — C(i,j).
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+	}
+	t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		i, j := vec.Index/n, vec.Index%n
+		sel := func(col int) bool { return col%n == j }
+		done := m.SumLeafToRoot(vec, sel, core.RegD, r)
+		v := m.RowRoot(vec.Index)
+		if boolean && v > 0 {
+			v = 1
+		}
+		c[i][j] = v
+		return done
+	})
+	return c, t
+}
+
+// isqrt returns the integer square root of a perfect square (or the
+// floor for other inputs).
+func isqrt(x int) int {
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,81 @@
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// DNSSchedule runs the Dekel–Nassimi–Sahni matrix-multiplication
+// schedule on an abstract n³-processor hypercube: replicate A across
+// the j-dimensions and B across the i-dimensions (2·log n
+// dimension-steps), multiply everywhere, then sum along the
+// k-dimensions (log n dimension-steps). This is the classical
+// N³-processor algorithm behind the PSN and CCC rows of Table II; the
+// host network supplies the cost of one dimension-step through
+// dimCost, so the shuffle-exchange (every dimension = a full shuffle
+// cycle) and the cube-connected cycles (cycle rotations vs. cube
+// wires) price the same schedule differently.
+//
+// It returns the product and the completion time.
+func DNSSchedule(a, b [][]int64, boolean bool, wordBits int, dimCost func(d int) vlsi.Time, rel vlsi.Time) ([][]int64, vlsi.Time) {
+	n := len(a)
+	if n == 0 || len(b) != n || !vlsi.IsPow2(n) {
+		panic(fmt.Sprintf("matrix: DNS of %d×%d operands (need square power-of-two)", len(a), len(b)))
+	}
+	q := vlsi.Log2Floor(n)
+	t := rel
+
+	// Replication phases: A(i,k) to all j, B(k,j) to all i — q
+	// dimension-steps each.
+	av := make([]int64, n*n*n)
+	bv := make([]int64, n*n*n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				idx := k*n*n + i*n + j
+				av[idx] = a[i][k]
+				bv[idx] = b[k][j]
+			}
+		}
+	}
+	for d := 0; d < 2*q; d++ {
+		t += dimCost(d % q)
+	}
+
+	// Multiply.
+	prod := make([]int64, n*n*n)
+	for idx := range prod {
+		if boolean {
+			if av[idx] != 0 && bv[idx] != 0 {
+				prod[idx] = 1
+			}
+		} else {
+			prod[idx] = av[idx] * bv[idx]
+		}
+	}
+	t += vlsi.Time(2 * wordBits)
+
+	// Reduce along the k-dimensions.
+	for d := 0; d < q; d++ {
+		stride := (1 << d) * n * n
+		for idx := 0; idx < n*n*n; idx++ {
+			if idx&stride == 0 && idx+stride < n*n*n {
+				if boolean {
+					if prod[idx] != 0 || prod[idx+stride] != 0 {
+						prod[idx] = 1
+					}
+				} else {
+					prod[idx] += prod[idx+stride]
+				}
+			}
+		}
+		t += dimCost(d) + vlsi.Time(wordBits)
+	}
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		copy(c[i], prod[i*n:i*n+n])
+	}
+	return c, t
+}

@@ -1,0 +1,230 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func machine(t testing.TB, k int) *core.Machine {
+	t.Helper()
+	m, err := core.NewDefault(k, k*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func matEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRefMatMul(t *testing.T) {
+	a := [][]int64{{1, 2}, {3, 4}}
+	b := [][]int64{{5, 6}, {7, 8}}
+	want := [][]int64{{19, 22}, {43, 50}}
+	if !matEqual(RefMatMul(a, b), want) {
+		t.Errorf("RefMatMul = %v", RefMatMul(a, b))
+	}
+}
+
+func TestRefBoolMatMul(t *testing.T) {
+	a := [][]int64{{1, 0}, {0, 1}}
+	b := [][]int64{{0, 1}, {1, 0}}
+	want := [][]int64{{0, 1}, {1, 0}}
+	if !matEqual(RefBoolMatMul(a, b), want) {
+		t.Errorf("RefBoolMatMul = %v", RefBoolMatMul(a, b))
+	}
+}
+
+func TestLoadMatrixValidation(t *testing.T) {
+	m := machine(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-size matrix accepted")
+		}
+	}()
+	LoadMatrix(m, core.RegB, make([][]int64, 3))
+}
+
+func TestVectorMatrixMult(t *testing.T) {
+	for _, k := range []int{4, 8, 16} {
+		m := machine(t, k)
+		rng := workload.NewRNG(uint64(k))
+		b := rng.IntMatrix(k, 50)
+		x := rng.Ints(k, 50)
+		LoadMatrix(m, core.RegB, b)
+		y, done := VectorMatrixMult(m, x, core.RegB, 0)
+		want := make([]int64, k)
+		for j := 0; j < k; j++ {
+			for i := 0; i < k; i++ {
+				want[j] += x[i] * b[i][j]
+			}
+		}
+		for j := range want {
+			if y[j] != want[j] {
+				t.Fatalf("K=%d: y[%d] = %d, want %d", k, j, y[j], want[j])
+			}
+		}
+		if done <= 0 {
+			t.Error("vector-matrix took no time")
+		}
+	}
+}
+
+// TestVectorMatrixTimeShape: Θ(log² N) per Section III-A.
+func TestVectorMatrixTimeShape(t *testing.T) {
+	var logs, times []float64
+	for k := 8; k <= 128; k *= 2 {
+		m := machine(t, k)
+		rng := workload.NewRNG(1)
+		LoadMatrix(m, core.RegB, rng.IntMatrix(k, 10))
+		_, done := VectorMatrixMult(m, rng.Ints(k, 10), core.RegB, 0)
+		logs = append(logs, float64(vlsi.Log2Ceil(k)))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(logs, times)
+	if e < 1.0 || e > 3.0 {
+		t.Errorf("vector-matrix time grows as log^%.2f; want ~log²", e)
+	}
+}
+
+func TestMatMulPipelined(t *testing.T) {
+	for _, k := range []int{4, 8, 16} {
+		m := machine(t, k)
+		rng := workload.NewRNG(uint64(k) + 7)
+		a := rng.IntMatrix(k, 30)
+		b := rng.IntMatrix(k, 30)
+		c, times := MatMulPipelined(m, a, b, 0)
+		if !matEqual(c, RefMatMul(a, b)) {
+			t.Fatalf("K=%d: wrong product", k)
+		}
+		for i := 1; i < k; i++ {
+			if times[i] <= times[i-1] {
+				t.Fatalf("K=%d: row %d not after row %d", k, i, i-1)
+			}
+		}
+	}
+}
+
+// TestMatMulPipelineSpacing: Section III-A says "successive rows
+// separated by O(log N) units of time" — the steady-state inter-row
+// gap must be a small multiple of the word time, far below the
+// Θ(log² N) latency of a full vector-matrix product.
+func TestMatMulPipelineSpacing(t *testing.T) {
+	k := 32
+	m := machine(t, k)
+	rng := workload.NewRNG(3)
+	a := rng.IntMatrix(k, 10)
+	b := rng.IntMatrix(k, 10)
+	_, times := MatMulPipelined(m, a, b, 0)
+	w := m.WordTime()
+	gap := times[k-1] - times[k-2]
+	if gap > 8*w {
+		t.Errorf("steady-state row gap %d far above Θ(log N) = %d", gap, w)
+	}
+	if times[k-1] >= vlsi.Time(k)*times[0] {
+		t.Errorf("pipeline no better than serial: total %d vs first %d", times[k-1], times[0])
+	}
+}
+
+func TestBigMachineValidation(t *testing.T) {
+	if _, err := BigMachine(3, vlsi.LogDelay{}); err == nil {
+		t.Error("non-power-of-two side accepted")
+	}
+}
+
+func TestBigMatMul(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		m, err := BigMachine(n, vlsi.LogDelay{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := workload.NewRNG(uint64(n) + 13)
+		a := rng.IntMatrix(n, 20)
+		b := rng.IntMatrix(n, 20)
+		c, done := BigMatMul(m, a, b, false, 0)
+		if !matEqual(c, RefMatMul(a, b)) {
+			t.Fatalf("n=%d: big matmul wrong: %v want %v", n, c, RefMatMul(a, b))
+		}
+		if done <= 0 {
+			t.Error("big matmul took no time")
+		}
+	}
+}
+
+func TestBigMatMulBoolean(t *testing.T) {
+	n := 8
+	m, err := BigMachine(n, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(99)
+	a := rng.BoolMatrix(n, 0.3)
+	b := rng.BoolMatrix(n, 0.3)
+	c, _ := BigMatMul(m, a, b, true, 0)
+	if !matEqual(c, RefBoolMatMul(a, b)) {
+		t.Fatalf("boolean big matmul wrong")
+	}
+}
+
+func TestBigMatMulQuick(t *testing.T) {
+	n := 4
+	m, err := BigMachine(n, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := workload.NewRNG(seed)
+		a := rng.IntMatrix(n, 9)
+		b := rng.IntMatrix(n, 9)
+		m.Reset()
+		c, _ := BigMatMul(m, a, b, false, 0)
+		return matEqual(c, RefMatMul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBigMatMulTimeShape: the Table II configuration runs in
+// Θ(log² n): polylog growth over the n sweep.
+func TestBigMatMulTimeShape(t *testing.T) {
+	var logs, times []float64
+	for _, n := range []int{2, 4, 8, 16} {
+		m, err := BigMachine(n, vlsi.LogDelay{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := workload.NewRNG(uint64(n))
+		_, done := BigMatMul(m, rng.IntMatrix(n, 5), rng.IntMatrix(n, 5), false, 0)
+		logs = append(logs, float64(vlsi.Log2Ceil(n*n)))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(logs, times)
+	if e < 0.8 || e > 3.0 {
+		t.Errorf("big matmul time grows as log^%.2f; want ~log²", e)
+	}
+	// Absolute sanity: n=16 (K=256, N²=65536 BPs) still finishes in
+	// polylog bit-times, far below n·w.
+	last := times[len(times)-1]
+	if last > 16*16*8 {
+		t.Errorf("big matmul at n=16 took %v bit-times; not polylog", last)
+	}
+}

@@ -1,0 +1,51 @@
+package sorting
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func BenchmarkSortOTN64(b *testing.B) {
+	m, err := core.NewDefault(64, 64*64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := workload.NewRNG(1).Perm(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		SortOTN(m, xs, 0)
+	}
+}
+
+func BenchmarkBitonicSortOTN16x16(b *testing.B) {
+	m, err := core.NewDefault(16, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := workload.NewRNG(2).Ints(256, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		BitonicSortOTN(m, xs, 0)
+	}
+}
+
+func BenchmarkSortOTNPipelined8Batches(b *testing.B) {
+	m, err := core.NewDefault(32, 32*32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := workload.NewRNG(3)
+	batches := make([][]int64, 8)
+	for i := range batches {
+		batches[i] = rng.Perm(32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		SortOTNPipelined(m, batches, m.WordTime())
+	}
+}

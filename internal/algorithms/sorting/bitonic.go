@@ -1,0 +1,68 @@
+package sorting
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// BitonicSortOTN sorts N = K² numbers stored one per base processor
+// on a (K×K)-OTN, the Section IV algorithm: Batcher's bitonic network
+// with every compare-exchange routed through the row and column
+// trees. Elements live in row-major order (element e at BP(e/K,
+// e mod K)); a network stride s < K exchanges within rows, a stride
+// s ≥ K within columns, each through the lowest common ancestor of
+// the pair's leaves — the paper's COMPEX-OTN.
+//
+// The stride words funnelling through each subtree apex serialize on
+// its edges, which is why the total cost is Θ(√N log N) (= Θ(K log N))
+// rather than the Θ(log³ N) a congestion-free count would suggest —
+// the tree roots are the bottleneck, exactly as the paper discusses.
+//
+// It returns the sorted values (row-major) and the completion time.
+func BitonicSortOTN(m *core.Machine, xs []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	k := m.K
+	n := k * k
+	if len(xs) != n {
+		panic(fmt.Sprintf("sorting: bitonic over %d values on a (%d×%d)-OTN wants %d", len(xs), k, k, n))
+	}
+	for e, x := range xs {
+		m.Set(core.RegA, e/k, e%k, x)
+	}
+
+	t := rel
+	for size := 2; size <= n; size <<= 1 {
+		for s := size / 2; s >= 1; s >>= 1 {
+			t = compexStage(m, s, size, t)
+		}
+	}
+
+	out := make([]int64, n)
+	for e := range out {
+		out[e] = m.Get(core.RegA, e/k, e%k)
+	}
+	return out, t
+}
+
+// compexStage performs one column of the bitonic network: exchange at
+// linear stride s, direction by bit `size` of the linear index.
+func compexStage(m *core.Machine, s, size int, rel vlsi.Time) vlsi.Time {
+	k := m.K
+	if s >= k {
+		// Stride spans rows: COMPEX along every column tree, pairs
+		// s/k rows apart.
+		rowStride := s / k
+		return m.ParDo(false, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+			j := vec.Index
+			asc := func(i int) bool { return (i*k+j)&size == 0 }
+			return m.CompareExchange(vec, rowStride, core.RegA, asc, r)
+		})
+	}
+	// Stride within rows: COMPEX along every row tree.
+	return m.ParDo(true, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		i := vec.Index
+		asc := func(j int) bool { return (i*k+j)&size == 0 }
+		return m.CompareExchange(vec, s, core.RegA, asc, r)
+	})
+}

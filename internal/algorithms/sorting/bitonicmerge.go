@@ -1,0 +1,92 @@
+package sorting
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// BitonicMergeOTN is procedure BITONICMERGE-OTN of Section IV: a J×K
+// window of the base holding a bitonic sequence in row-major order is
+// merged into ascending order. The paper's recursion —
+//
+//	if J > 1:  COMPEX-OTN(Column(i), J) for every column, pardo;
+//	           recurse on the two (J/2 × K) bitonic halves
+//	else K>1:  COMPEX-OTN(row, K); recurse on the two (1 × K/2) halves
+//
+// — is realized exactly: each level is one pardo of compare-exchanges
+// at the level's stride, routed through the trees via the lowest
+// common ancestors. Because the machine's COMPEX pairs positions
+// globally by stride, all same-level sub-windows execute in the same
+// pardo, which is precisely what the paper's "for each of the two
+// bitonic sequences formed pardo" prescribes.
+//
+// J and K must be the machine's base dimensions (a full-base merge;
+// the recursion handles the sub-windows internally). It returns the
+// merged values (row-major) and the completion time.
+func BitonicMergeOTN(m *core.Machine, xs []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	k := m.K
+	n := k * k
+	if len(xs) != n {
+		panic(fmt.Sprintf("sorting: bitonic merge of %d values on a (%d×%d)-OTN (want %d)", len(xs), k, k, n))
+	}
+	for e, x := range xs {
+		m.Set(core.RegA, e/k, e%k, x)
+	}
+	t := mergeLevel(m, k, k, rel)
+	out := make([]int64, n)
+	for e := range out {
+		out[e] = m.Get(core.RegA, e/k, e%k)
+	}
+	return out, t
+}
+
+// mergeLevel performs the (J, K) level of the paper's recursion and
+// descends. All sub-windows of one level run in a single pardo.
+func mergeLevel(m *core.Machine, j, k int, rel vlsi.Time) vlsi.Time {
+	switch {
+	case j > 1:
+		// COMPEX along every column at row-stride J/2 (the paper's
+		// "COMPEX-OTN(Column(i), J)").
+		t := m.ParDo(false, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+			return m.CompareExchange(vec, j/2, core.RegA, nil, r)
+		})
+		return mergeLevel(m, j/2, k, t)
+	case k > 1:
+		// COMPEX along every row at column-stride K/2.
+		t := m.ParDo(true, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+			return m.CompareExchange(vec, k/2, core.RegA, nil, r)
+		})
+		return mergeLevel(m, j, k/2, t)
+	default:
+		return rel
+	}
+}
+
+// MakeBitonic arranges arbitrary values into a bitonic sequence (an
+// ascending run followed by a descending run), the precondition of
+// BitonicMergeOTN — handy for tests and examples.
+func MakeBitonic(xs []int64) []int64 {
+	out := append([]int64(nil), xs...)
+	half := len(out) / 2
+	sortAsc(out[:half])
+	sortDesc(out[half:])
+	return out
+}
+
+func sortAsc(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortDesc(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sorting
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func TestMakeBitonic(t *testing.T) {
+	xs := []int64{5, 2, 9, 1, 7, 3, 8, 4}
+	b := MakeBitonic(xs)
+	// Ascending half then descending half.
+	half := len(b) / 2
+	for i := 1; i < half; i++ {
+		if b[i-1] > b[i] {
+			t.Fatalf("first half not ascending: %v", b)
+		}
+	}
+	for i := half + 1; i < len(b); i++ {
+		if b[i-1] < b[i] {
+			t.Fatalf("second half not descending: %v", b)
+		}
+	}
+}
+
+func TestBitonicMergeOTN(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		m := machine(t, k)
+		raw := workload.NewRNG(uint64(k)+77).Ints(k*k, 1000)
+		bit := MakeBitonic(raw)
+		got, done := BitonicMergeOTN(m, bit, 0)
+		if !equal(got, sortedCopy(raw)) {
+			t.Errorf("K=%d: merge wrong: %v", k, got)
+		}
+		if done <= 0 {
+			t.Error("merge took no time")
+		}
+	}
+}
+
+func TestBitonicMergeQuick(t *testing.T) {
+	m := machine(t, 4)
+	f := func(raw [16]int8) bool {
+		xs := make([]int64, 16)
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		m.Reset()
+		got, _ := BitonicMergeOTN(m, MakeBitonic(xs), 0)
+		return equal(got, sortedCopy(xs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitonicMergeArity(t *testing.T) {
+	m := machine(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong merge input length accepted")
+		}
+	}()
+	BitonicMergeOTN(m, make([]int64, 3), 0)
+}
+
+// TestBitonicMergeCheaperThanSort: one merge is a single descent of
+// the recursion (Θ(√N log N)); a full sort is log N of them.
+func TestBitonicMergeCheaperThanSort(t *testing.T) {
+	k := 16
+	raw := workload.NewRNG(9).Ints(k*k, 1000)
+	mMerge := machine(t, k)
+	_, tMerge := BitonicMergeOTN(mMerge, MakeBitonic(raw), 0)
+	mSort := machine(t, k)
+	_, tSort := BitonicSortOTN(mSort, raw, 0)
+	if tMerge >= tSort {
+		t.Errorf("merge (%d) not cheaper than full sort (%d)", tMerge, tSort)
+	}
+}
+
+// TestScaledOTN verifies Thompson's scaling remark [31]: primitives
+// drop to Θ(log N) with unchanged area, so SORT-OTN gets strictly
+// faster while producing identical output.
+func TestScaledOTN(t *testing.T) {
+	k := 128
+	cfg := vlsi.DefaultConfig(k * k)
+	plain, err := core.New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := core.NewScaled(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := workload.NewRNG(31).Perm(k)
+	outP, tP := SortOTN(plain, xs, 0)
+	outS, tS := SortOTN(scaled, xs, 0)
+	if !equal(outP, outS) {
+		t.Fatal("scaled machine produced different output")
+	}
+	if tS >= tP {
+		t.Errorf("scaled sort (%d) not faster than plain (%d)", tS, tP)
+	}
+	if scaled.Area() != plain.Area() {
+		t.Errorf("scaling changed the area: %d vs %d", scaled.Area(), plain.Area())
+	}
+}
+
+// TestScaledPrimitiveShape: a scaled broadcast is Θ(log N), i.e. the
+// time-vs-logK fit has exponent ≈ 1, against ≈ 2 unscaled.
+func TestScaledPrimitiveShape(t *testing.T) {
+	var logs, plain, scaled []float64
+	for k := 8; k <= 256; k *= 2 {
+		cfg := vlsi.DefaultConfig(k * k)
+		p, err := core.New(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewScaled(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetRowRoot(0, 1)
+		s.SetRowRoot(0, 1)
+		logs = append(logs, float64(vlsi.Log2Ceil(k)))
+		plain = append(plain, float64(p.RootToLeaf(core.Row(0), nil, core.RegA, 0)))
+		scaled = append(scaled, float64(s.RootToLeaf(core.Row(0), nil, core.RegA, 0)))
+	}
+	eP := vlsi.GrowthExponent(logs, plain)
+	eS := vlsi.GrowthExponent(logs, scaled)
+	if eS >= eP {
+		t.Errorf("scaled broadcast exponent %.2f not below plain %.2f", eS, eP)
+	}
+	if eS > 1.3 {
+		t.Errorf("scaled broadcast grows as log^%.2f; want ~log¹", eS)
+	}
+}

@@ -1,0 +1,50 @@
+package sorting
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzSortOTN drives procedure SORT-OTN with arbitrary 16-key inputs
+// (run with `go test -fuzz FuzzSortOTN ./internal/algorithms/sorting`;
+// the seed corpus runs in normal test mode).
+func FuzzSortOTN(f *testing.F) {
+	f.Add(int64(1), int64(-5), int64(1), int64(0))
+	f.Add(int64(9e18), int64(-9e18), int64(0), int64(7))
+	m, err := core.NewDefault(16, 256)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b, c, d int64) {
+		xs := []int64{a, b, c, d, a + 1, b - 1, c ^ d, a & b, d, c, b, a, -a, -b, -c, -d}
+		m.Reset()
+		got, _ := SortOTN(m, xs, 0)
+		want := sortedCopy(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mis-sorted at %d: %v vs %v", i, got, want)
+			}
+		}
+	})
+}
+
+// FuzzBitonicMerge checks the merge on arbitrary bitonic inputs.
+func FuzzBitonicMerge(f *testing.F) {
+	f.Add(int64(3), int64(1), int64(4), int64(1))
+	m, err := core.NewDefault(4, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b, c, d int64) {
+		xs := []int64{a, b, c, d, a - b, b - c, c - d, d - a, a * 3, b * 5, c * 7, d * 11, a, d, b, c}
+		m.Reset()
+		got, _ := BitonicMergeOTN(m, MakeBitonic(xs), 0)
+		want := sortedCopy(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merge wrong at %d", i)
+			}
+		}
+	})
+}

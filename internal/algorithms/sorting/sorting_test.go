@@ -1,0 +1,244 @@
+package sorting
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func machine(t testing.TB, k int) *core.Machine {
+	t.Helper()
+	m, err := core.NewDefault(k, k*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sortedCopy(xs []int64) []int64 {
+	out := append([]int64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortOTNDistinct(t *testing.T) {
+	for _, k := range []int{4, 8, 32, 64} {
+		m := machine(t, k)
+		xs := workload.NewRNG(uint64(k)).Perm(k)
+		got, done := SortOTN(m, xs, 0)
+		if !equal(got, sortedCopy(xs)) {
+			t.Errorf("K=%d: sorted %v, want %v", k, got, sortedCopy(xs))
+		}
+		if done <= 0 {
+			t.Errorf("K=%d: sort took no time", k)
+		}
+	}
+}
+
+func TestSortOTNDuplicates(t *testing.T) {
+	// The modified step 3 must handle repeated keys.
+	m := machine(t, 8)
+	xs := []int64{5, 3, 5, 1, 3, 5, 1, 1}
+	got, _ := SortOTN(m, xs, 0)
+	if !equal(got, sortedCopy(xs)) {
+		t.Errorf("duplicates: got %v", got)
+	}
+}
+
+func TestSortOTNAlreadySorted(t *testing.T) {
+	m := machine(t, 8)
+	xs := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	got, _ := SortOTN(m, xs, 0)
+	if !equal(got, xs) {
+		t.Errorf("sorted input perturbed: %v", got)
+	}
+}
+
+func TestSortOTNReversed(t *testing.T) {
+	m := machine(t, 8)
+	xs := []int64{7, 6, 5, 4, 3, 2, 1, 0}
+	got, _ := SortOTN(m, xs, 0)
+	if !equal(got, sortedCopy(xs)) {
+		t.Errorf("reverse input: %v", got)
+	}
+}
+
+func TestSortOTNQuick(t *testing.T) {
+	m := machine(t, 16)
+	f := func(raw [16]int16) bool {
+		xs := make([]int64, 16)
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		m.Reset()
+		got, _ := SortOTN(m, xs, 0)
+		return equal(got, sortedCopy(xs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortOTNArity(t *testing.T) {
+	m := machine(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong input length accepted")
+		}
+	}()
+	SortOTN(m, make([]int64, 5), 0)
+}
+
+// TestSortOTNTimeShape: SORT-OTN is Θ(log² N): over a K sweep the
+// measured time must grow polylogarithmically — i.e. far slower than
+// any K^ε, and as log^e K with e in a sane band.
+func TestSortOTNTimeShape(t *testing.T) {
+	var logs, times []float64
+	for k := 8; k <= 256; k *= 2 {
+		m := machine(t, k)
+		xs := workload.NewRNG(7).Perm(k)
+		_, done := SortOTN(m, xs, 0)
+		logs = append(logs, float64(vlsi.Log2Ceil(k)))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(logs, times)
+	if e < 1.0 || e > 3.2 {
+		t.Errorf("SORT-OTN time grows as log^%.2f K; want ~log²", e)
+	}
+	// Sanity: 256 numbers sort in far less time than 256 word-times
+	// squared — i.e. truly polylog, not polynomial.
+	if times[len(times)-1] > float64(256)*64 {
+		t.Errorf("SORT-OTN at K=256 took %v bit-times; not polylog", times[len(times)-1])
+	}
+}
+
+// TestSortOTNConstantDelayFaster reproduces the Section VII-D
+// observation: under the constant-delay model SORT-OTN drops to
+// Θ(log N), so it must be strictly faster than under log-delay.
+func TestSortOTNConstantDelayFaster(t *testing.T) {
+	k := 128
+	xs := workload.NewRNG(3).Perm(k)
+	mLog, err := core.New(k, vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: vlsi.LogDelay{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mConst, err := core.New(k, vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: vlsi.ConstantDelay{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dLog := SortOTN(mLog, xs, 0)
+	sorted, dConst := SortOTN(mConst, xs, 0)
+	if !equal(sorted, sortedCopy(xs)) {
+		t.Error("constant-delay run mis-sorted")
+	}
+	if dConst >= dLog {
+		t.Errorf("constant-delay sort (%d) not faster than log-delay (%d)", dConst, dLog)
+	}
+}
+
+func TestPipelinedSort(t *testing.T) {
+	k := 32
+	m := machine(t, k)
+	w := m.WordTime()
+	rng := workload.NewRNG(11)
+	nBatches := 12
+	batches := make([][]int64, nBatches)
+	for b := range batches {
+		batches[b] = rng.Perm(k)
+	}
+	res := SortOTNPipelined(m, batches, w)
+	for b, r := range res {
+		if !equal(r.Sorted, sortedCopy(batches[b])) {
+			t.Fatalf("batch %d mis-sorted", b)
+		}
+		if b > 0 && r.Done <= res[b-1].Done {
+			t.Fatalf("batch %d completed before batch %d", b, b-1)
+		}
+	}
+	// Section VIII: once the pipeline fills, a new sorted batch
+	// emerges every Θ(log N) — far faster than one full Θ(log² N)
+	// latency per batch.
+	latency := res[0].Done
+	steady := res[nBatches-1].Done - res[nBatches-2].Done
+	if steady >= latency/2 {
+		t.Errorf("steady-state spacing %d not well below single-problem latency %d", steady, latency)
+	}
+	if steady > 20*w {
+		t.Errorf("steady-state spacing %d far above Θ(log N)=%d", steady, w)
+	}
+}
+
+func TestBitonicSortOTN(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		m := machine(t, k)
+		xs := workload.NewRNG(uint64(k+1)).Ints(k*k, 1000)
+		got, done := BitonicSortOTN(m, xs, 0)
+		if !equal(got, sortedCopy(xs)) {
+			t.Errorf("K=%d: bitonic mis-sorted", k)
+		}
+		if done <= 0 {
+			t.Error("bitonic took no time")
+		}
+	}
+}
+
+func TestBitonicSortOTNQuick(t *testing.T) {
+	m := machine(t, 4)
+	f := func(raw [16]int8) bool {
+		xs := make([]int64, 16)
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		m.Reset()
+		got, _ := BitonicSortOTN(m, xs, 0)
+		return equal(got, sortedCopy(xs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitonicArity(t *testing.T) {
+	m := machine(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong bitonic input length accepted")
+		}
+	}()
+	BitonicSortOTN(m, make([]int64, 7), 0)
+}
+
+// TestBitonicTimeShape: sorting N = K² values bitonically costs
+// Θ(√N log N) = Θ(K log N): the measured time over a K sweep should
+// grow roughly linearly in K (exponent near 1, certainly well below
+// quadratic and above polylog).
+func TestBitonicTimeShape(t *testing.T) {
+	var ks, times []float64
+	for k := 4; k <= 32; k *= 2 {
+		m := machine(t, k)
+		xs := workload.NewRNG(5).Ints(k*k, 1<<20)
+		_, done := BitonicSortOTN(m, xs, 0)
+		ks = append(ks, float64(k))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(ks, times)
+	if e < 0.7 || e > 1.8 {
+		t.Errorf("bitonic time grows as K^%.2f; want ~K (the tree-root bottleneck)", e)
+	}
+}

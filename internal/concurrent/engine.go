@@ -1,0 +1,339 @@
+// Package concurrent is a node-level simulation of one orthogonal
+// tree in which every internal processor (IP) and every base
+// processor port is a goroutine and every tree edge is a pair of
+// channels. It exists to cross-validate the deterministic router of
+// internal/tree: for a contention-free operation both must compute
+// exactly the same arrival times, and the concurrent engine also
+// carries real values through the combining IPs, checking the
+// functional semantics of COUNT/SUM/MIN ascents.
+//
+// The deterministic router is what the algorithm and benchmark layers
+// use (it is reproducible and fast); this engine is the executable
+// argument that the router's timing rules describe a real network of
+// independently clocked processors.
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+// msg is one word moving along a tree edge.
+type msg struct {
+	// val is the word's value.
+	val int64
+	// head is the simulated time of the word's leading bit at the
+	// receiving end of the edge.
+	head vlsi.Time
+}
+
+// Combine is a bit-serial combining operation performed by the IPs
+// during an ascent.
+type Combine int
+
+// The combining operations the paper's primitives need.
+const (
+	// Sum adds the two child words (LSB-first pipeline) —
+	// SUM-LEAFTOROOT and COUNT-LEAFTOROOT.
+	Sum Combine = iota
+	// Min keeps the smaller child word (MSB-first pipeline) —
+	// MIN-LEAFTOROOT.
+	Min
+)
+
+func (c Combine) apply(a, b int64) int64 {
+	switch c {
+	case Sum:
+		return a + b
+	case Min:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		panic(fmt.Sprintf("concurrent: unknown combine %d", c))
+	}
+}
+
+// Engine is a goroutine-per-node simulation of one tree.
+type Engine struct {
+	geom *layout.TreeGeom
+	cfg  vlsi.Config
+	// first[v] is the first-bit latency of the edge between node v
+	// and its parent, mirroring internal/tree.
+	first []vlsi.Time
+	// nodeLatency mirrors the router's per-IP re-timing latency.
+	nodeLatency vlsi.Time
+}
+
+// New builds an engine over a measured tree geometry.
+func New(geom *layout.TreeGeom, cfg vlsi.Config) (*Engine, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		geom:        geom,
+		cfg:         cfg,
+		first:       make([]vlsi.Time, 2*geom.K),
+		nodeLatency: 1,
+	}
+	for v := 2; v < 2*geom.K; v++ {
+		e.first[v] = cfg.Model.FirstBit(geom.EdgeLen[v])
+	}
+	return e, nil
+}
+
+// Broadcast runs a root-to-leaves flood with one goroutine per
+// internal node. It returns the value received at each leaf and the
+// time each leaf's last bit arrived.
+func (e *Engine) Broadcast(val int64, rel vlsi.Time) (vals []int64, times []vlsi.Time) {
+	k := e.geom.K
+	// Down-channels indexed by the child node of each edge.
+	ch := make([]chan msg, 2*k)
+	for v := 2; v < 2*k; v++ {
+		ch[v] = make(chan msg, 1)
+	}
+	var wg sync.WaitGroup
+	// One goroutine per internal node: receive from parent, re-time,
+	// forward to both children.
+	for v := 1; v < k; v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var in msg
+			if v == 1 {
+				in = msg{val: val, head: rel}
+			} else {
+				in = <-ch[v]
+			}
+			h := in.head
+			if v != 1 {
+				h += e.nodeLatency
+			}
+			for _, c := range []int{2 * v, 2*v + 1} {
+				ch[c] <- msg{val: in.val, head: h + e.first[c]}
+			}
+		}()
+	}
+	vals = make([]int64, k)
+	times = make([]vlsi.Time, k)
+	var mu sync.Mutex
+	for j := 0; j < k; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := <-ch[k+j]
+			mu.Lock()
+			vals[j] = in.val
+			times[j] = in.head + vlsi.Time(e.cfg.WordBits-1)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return vals, times
+}
+
+// PipelineBroadcast streams a sequence of words from the root to all
+// leaves, one goroutine per tree node, with every node enforcing the
+// pipelined-edge discipline: a word's head may enter the node's
+// parent edge only when the edge has finished accepting the previous
+// word's bits (free = start + wordBits). Words flow through FIFO
+// channels, so the per-edge service order is the release order —
+// exactly the deterministic router's schedule — and the per-word,
+// per-leaf completion times must match tree.Tree.Pipeline bit for
+// bit. This is the concurrent cross-validation of the contention
+// rules that produce the paper's pipelining results (Sections III-A,
+// V-B, VIII).
+func (e *Engine) PipelineBroadcast(vals []int64, rels []vlsi.Time) (leafVals [][]int64, done []vlsi.Time) {
+	if len(vals) != len(rels) {
+		panic(fmt.Sprintf("concurrent: %d values, %d release times", len(vals), len(rels)))
+	}
+	k := e.geom.K
+	m := len(vals)
+	ch := make([]chan msg, 2*k)
+	for v := 2; v < 2*k; v++ {
+		ch[v] = make(chan msg, m)
+	}
+	var wg sync.WaitGroup
+	for v := 1; v < k; v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// free[c] is the earliest time child c's edge accepts a
+			// new head.
+			free := map[int]vlsi.Time{2 * v: 0, 2*v + 1: 0}
+			for i := 0; i < m; i++ {
+				var in msg
+				if v == 1 {
+					in = msg{val: vals[i], head: rels[i]}
+				} else {
+					in = <-ch[v]
+				}
+				h := in.head
+				if v != 1 {
+					h += e.nodeLatency
+				}
+				for _, c := range []int{2 * v, 2*v + 1} {
+					start := vlsi.MaxTime(h, free[c])
+					free[c] = start + vlsi.Time(e.cfg.WordBits)
+					ch[c] <- msg{val: in.val, head: start + e.first[c]}
+				}
+			}
+		}()
+	}
+	leafVals = make([][]int64, m)
+	leafTimes := make([][]vlsi.Time, m)
+	for i := range leafVals {
+		leafVals[i] = make([]int64, k)
+		leafTimes[i] = make([]vlsi.Time, k)
+	}
+	var mu sync.Mutex
+	for j := 0; j < k; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < m; i++ {
+				in := <-ch[k+j]
+				mu.Lock()
+				leafVals[i][j] = in.val
+				leafTimes[i][j] = in.head + vlsi.Time(e.cfg.WordBits-1)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	done = make([]vlsi.Time, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			if leafTimes[i][j] > done[i] {
+				done[i] = leafTimes[i][j]
+			}
+		}
+	}
+	return leafVals, done
+}
+
+// PipelineReduce streams a sequence of combining ascents through the
+// tree, one goroutine per internal node, mirroring the router's
+// pipelined-edge rule in the upward direction: each node combines the
+// i-th words of its two children and may inject the result into its
+// parent edge only when that edge has drained the (i−1)-th word. The
+// per-word root arrival times must match issuing
+// tree.Tree.ReduceUniform sequentially with the same releases — the
+// schedule every OTC operation and the §III-A column-sum pipeline
+// rely on.
+func (e *Engine) PipelineReduce(vals [][]int64, rels []vlsi.Time, op Combine) (results []int64, done []vlsi.Time) {
+	if len(vals) != len(rels) {
+		panic(fmt.Sprintf("concurrent: %d value sets, %d release times", len(vals), len(rels)))
+	}
+	k := e.geom.K
+	m := len(vals)
+	for i := range vals {
+		if len(vals[i]) != k {
+			panic(fmt.Sprintf("concurrent: value set %d has %d leaves, want %d", i, len(vals[i]), k))
+		}
+	}
+	ch := make([]chan msg, 2*k)
+	for v := 2; v < 2*k; v++ {
+		ch[v] = make(chan msg, m)
+	}
+	rootCh := make(chan msg, m)
+	var wg sync.WaitGroup
+	// Leaves: inject their words in release order, respecting their
+	// own parent-edge drain times.
+	for j := 0; j < k; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var free vlsi.Time
+			for i := 0; i < m; i++ {
+				start := vlsi.MaxTime(rels[i], free)
+				free = start + vlsi.Time(e.cfg.WordBits)
+				ch[k+j] <- msg{val: vals[i][j], head: start + e.first[k+j]}
+			}
+		}()
+	}
+	for v := 1; v < k; v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var free vlsi.Time
+			for i := 0; i < m; i++ {
+				a := <-ch[2*v]
+				b := <-ch[2*v+1]
+				ready := vlsi.MaxTime(a.head, b.head) + e.nodeLatency
+				out := msg{val: op.apply(a.val, b.val), head: ready}
+				if v == 1 {
+					rootCh <- out
+					continue
+				}
+				start := vlsi.MaxTime(ready, free)
+				free = start + vlsi.Time(e.cfg.WordBits)
+				ch[v] <- msg{val: out.val, head: start + e.first[v]}
+			}
+		}()
+	}
+	wg.Wait()
+	results = make([]int64, m)
+	done = make([]vlsi.Time, m)
+	for i := 0; i < m; i++ {
+		out := <-rootCh
+		results[i] = out.val
+		done[i] = out.head + vlsi.Time(e.cfg.WordBits-1)
+	}
+	return results, done
+}
+
+// Reduce runs a combining ascent with one goroutine per internal
+// node: each IP waits for both children's words, combines them with
+// one bit-time of latency, and forwards the result. It returns the
+// combined value and the arrival time of its last bit at the root.
+func (e *Engine) Reduce(vals []int64, rels []vlsi.Time, op Combine) (int64, vlsi.Time) {
+	k := e.geom.K
+	if len(vals) != k || len(rels) != k {
+		panic(fmt.Sprintf("concurrent: Reduce arity %d/%d, want %d", len(vals), len(rels), k))
+	}
+	// Up-channels indexed by the child node of each edge.
+	ch := make([]chan msg, 2*k)
+	for v := 2; v < 2*k; v++ {
+		ch[v] = make(chan msg, 1)
+	}
+	rootCh := make(chan msg, 1)
+	for j := 0; j < k; j++ {
+		ch[k+j] <- msg{val: vals[j], head: rels[j] + e.first[k+j]}
+	}
+	var wg sync.WaitGroup
+	for v := 1; v < k; v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := <-ch[2*v]
+			b := <-ch[2*v+1]
+			out := msg{
+				val:  op.apply(a.val, b.val),
+				head: vlsi.MaxTime(a.head, b.head) + e.nodeLatency,
+			}
+			if v == 1 {
+				rootCh <- out
+			} else {
+				ch[v] <- msg{val: out.val, head: out.head + e.first[v]}
+			}
+		}()
+	}
+	wg.Wait()
+	out := <-rootCh
+	return out.val, out.head + vlsi.Time(e.cfg.WordBits-1)
+}

@@ -1,0 +1,379 @@
+// Package core implements the orthogonal trees network (OTN) of
+// Nath, Maheshwari and Bhatt — the paper's primary contribution,
+// known today as the mesh of trees.
+//
+// A (K×K)-OTN is a K×K matrix of base processors (BPs) in which every
+// row and every column of BPs forms the leaves of a complete binary
+// tree of internal processors (IPs). The roots of the row trees are
+// the input ports and the roots of the column trees the output ports
+// (Section II-A). BPs do the arithmetic; IPs move words and perform
+// the combining ascents (COUNT/SUM/MIN).
+//
+// The machine is simulated functionally (registers really carry the
+// values) while every communication is routed through the
+// contention-aware pipelined tree routers of internal/tree, whose
+// edges take their lengths from the measured chip layout. Time is
+// therefore an output of the simulation, in bit-times under the
+// configured wire-delay model, and the paper's Θ(log² N) primitive
+// cost (Section II-B) is measured, not asserted.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/layout"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+)
+
+// Reg names a register present in every base processor. The paper's
+// programs use a handful of registers per BP (Section II-B sizes BPs
+// at "three or four" O(log N)-bit registers).
+type Reg string
+
+// The register names used by the paper's programs.
+const (
+	RegA    Reg = "A"
+	RegB    Reg = "B"
+	RegC    Reg = "C"
+	RegD    Reg = "D"
+	RegR    Reg = "R"
+	RegFlag Reg = "flag"
+)
+
+// Null is the distinguished "no value" word the paper's programs load
+// into registers to deselect a BP (e.g. step 5 of SORT-OTC loads NULL
+// into D). It is the identity of MIN ascents' complement: selected
+// minima ignore Null entries.
+const Null int64 = math.MinInt64
+
+// Vector identifies a row or a column of base processors — the
+// "Vector" argument of every primitive in Section II-B.
+type Vector struct {
+	// IsRow selects a row tree when true, a column tree when false.
+	IsRow bool
+	// Index is the row or column index.
+	Index int
+}
+
+// Row returns the vector for row i.
+func Row(i int) Vector { return Vector{IsRow: true, Index: i} }
+
+// Col returns the vector for column j.
+func Col(j int) Vector { return Vector{IsRow: false, Index: j} }
+
+// String renders the vector as the paper writes it.
+func (v Vector) String() string {
+	if v.IsRow {
+		return fmt.Sprintf("row(%d)", v.Index)
+	}
+	return fmt.Sprintf("column(%d)", v.Index)
+}
+
+// Sel selects a subset of the K positions of a vector — the
+// "Selector" of the paper's Source/Dest pairs. A nil Sel selects all.
+type Sel func(k int) bool
+
+// All selects every position.
+func All(int) bool { return true }
+
+// One returns a selector matching exactly position j.
+func One(j int) Sel { return func(k int) bool { return k == j } }
+
+// Range returns a selector matching positions lo ≤ k < hi.
+func Range(lo, hi int) Sel { return func(k int) bool { return k >= lo && k < hi } }
+
+// Even matches even positions (the paper's "j : j is even" example).
+func Even(k int) bool { return k%2 == 0 }
+
+// Not inverts a selector (nil meaning "all" inverts to "none").
+func Not(s Sel) Sel {
+	return func(k int) bool {
+		if s == nil {
+			return false
+		}
+		return !s(k)
+	}
+}
+
+// And intersects selectors (nil operands mean "all").
+func And(a, b Sel) Sel {
+	return func(k int) bool {
+		return (a == nil || a(k)) && (b == nil || b(k))
+	}
+}
+
+// Or unions selectors (a nil operand means "all", so the union is
+// "all").
+func Or(a, b Sel) Sel {
+	return func(k int) bool {
+		return a == nil || b == nil || a(k) || b(k)
+	}
+}
+
+// Router is the communication service of one row or column tree. The
+// OTN uses the measured tree routers of internal/tree directly; the
+// OTC (internal/otc) substitutes routers that add the cycle
+// circulation and pipelining of Section V-B, which is exactly how the
+// paper argues the OTC runs every OTN algorithm in the same time
+// (Section VI: "the ith group is simulated by the ith row tree of the
+// OTC").
+type Router interface {
+	// Broadcast floods one word from the root to all leaves.
+	Broadcast(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time)
+	// Gather routes one word from leaf j to the root.
+	Gather(j int, rel vlsi.Time) vlsi.Time
+	// Reduce performs a combining ascent with per-leaf release times.
+	Reduce(rels []vlsi.Time) vlsi.Time
+	// ReduceUniform is Reduce with a single release time.
+	ReduceUniform(rel vlsi.Time) vlsi.Time
+	// ExchangePairs exchanges words between leaves j and j+stride.
+	ExchangePairs(stride int, rel vlsi.Time) vlsi.Time
+	// Route moves one word between two nodes (heap indices; use
+	// Leaf to name leaves).
+	Route(src, dst int, rel vlsi.Time) vlsi.Time
+	// Leaf translates a leaf position to a node index.
+	Leaf(j int) int
+	// Reset clears all occupancy state.
+	Reset()
+}
+
+// Machine is a simulated (K×K)-OTN (or an OTC emulating one, when
+// built with NewWithRouters).
+type Machine struct {
+	// K is the side of the base.
+	K int
+	// Cfg is the word width and delay model.
+	Cfg vlsi.Config
+	// Geom is the measured chip geometry (area, tree edge lengths);
+	// nil for machines built over custom routers.
+	Geom *layout.OTNGeom
+
+	rows, cols []Router
+	area       vlsi.Area
+	regs       map[Reg][][]int64
+	rowRoot    []int64
+	colRoot    []int64
+
+	// Tracer, when non-nil, receives one event per primitive.
+	Tracer func(op string, vec Vector, start, end vlsi.Time)
+}
+
+// NewWithRouters builds a machine whose K row and K column trees are
+// the given routers and whose chip area is the given value. The OTC
+// package uses this to run every OTN program on cycle-backed routers.
+func NewWithRouters(k int, cfg vlsi.Config, area vlsi.Area, rows, cols []Router) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !vlsi.IsPow2(k) {
+		return nil, fmt.Errorf("core: base side %d is not a power of two", k)
+	}
+	if len(rows) != k || len(cols) != k {
+		return nil, fmt.Errorf("core: %d row / %d column routers for K=%d", len(rows), len(cols), k)
+	}
+	return &Machine{
+		K: k, Cfg: cfg, area: area,
+		rows: rows, cols: cols,
+		regs:    make(map[Reg][][]int64),
+		rowRoot: make([]int64, k),
+		colRoot: make([]int64, k),
+	}, nil
+}
+
+// New builds a (K×K)-OTN under the given configuration. K must be a
+// power of two.
+func New(k int, cfg vlsi.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := layout.MeasureOTN(k, cfg.WordBits)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		K:       k,
+		Cfg:     cfg,
+		Geom:    geom,
+		area:    geom.Area(),
+		rows:    make([]Router, k),
+		cols:    make([]Router, k),
+		regs:    make(map[Reg][][]int64),
+		rowRoot: make([]int64, k),
+		colRoot: make([]int64, k),
+	}
+	for i := 0; i < k; i++ {
+		if m.rows[i], err = tree.New(geom.RowTree, cfg); err != nil {
+			return nil, err
+		}
+		if m.cols[i], err = tree.New(geom.ColTree, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// NewDefault builds a (K×K)-OTN with the paper's default
+// configuration for problem size n (Θ(log n)-bit words, log-delay).
+func NewDefault(k, n int) (*Machine, error) {
+	return New(k, vlsi.DefaultConfig(n))
+}
+
+// NewScaled builds a (K×K)-OTN whose trees use Thompson's scaling
+// technique [31]: IPs grow by a constant factor level by level, the
+// wire drivers are distributed into them, and every communication
+// primitive drops from Θ(log² N) to Θ(log N) while the area stays
+// Θ(N² log² N) — the improvement the paper notes was discovered after
+// submission ("each of these communication operations can be
+// implemented in just O(log N) time … the area is maintained").
+func NewScaled(k int, cfg vlsi.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := layout.MeasureOTN(k, cfg.WordBits)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		K:       k,
+		Cfg:     cfg,
+		Geom:    geom,
+		area:    geom.Area(),
+		rows:    make([]Router, k),
+		cols:    make([]Router, k),
+		regs:    make(map[Reg][][]int64),
+		rowRoot: make([]int64, k),
+		colRoot: make([]int64, k),
+	}
+	for i := 0; i < k; i++ {
+		if m.rows[i], err = tree.NewScaled(geom.RowTree, cfg); err != nil {
+			return nil, err
+		}
+		if m.cols[i], err = tree.NewScaled(geom.ColTree, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Area returns the chip area of the machine's layout: Θ(K² log² K)
+// for the native OTN, whatever the backing network reports otherwise.
+func (m *Machine) Area() vlsi.Area { return m.area }
+
+// WordBits returns the configured word width.
+func (m *Machine) WordBits() int { return m.Cfg.WordBits }
+
+// WordTime is the configured word width as a duration: the time one
+// word occupies a bit-serial resource.
+func (m *Machine) WordTime() vlsi.Time { return vlsi.Time(m.Cfg.WordBits) }
+
+// bank returns (allocating if needed) the storage for a register.
+func (m *Machine) bank(r Reg) [][]int64 {
+	b, ok := m.regs[r]
+	if !ok {
+		b = make([][]int64, m.K)
+		for i := range b {
+			b[i] = make([]int64, m.K)
+		}
+		m.regs[r] = b
+	}
+	return b
+}
+
+// Get reads register r of BP(i, j).
+func (m *Machine) Get(r Reg, i, j int) int64 { return m.bank(r)[i][j] }
+
+// Set writes register r of BP(i, j).
+func (m *Machine) Set(r Reg, i, j int, v int64) { m.bank(r)[i][j] = v }
+
+// at reads register r at position k of a vector.
+func (m *Machine) at(r Reg, vec Vector, k int) int64 {
+	if vec.IsRow {
+		return m.bank(r)[vec.Index][k]
+	}
+	return m.bank(r)[k][vec.Index]
+}
+
+// setAt writes register r at position k of a vector.
+func (m *Machine) setAt(r Reg, vec Vector, k int, v int64) {
+	if vec.IsRow {
+		m.bank(r)[vec.Index][k] = v
+	} else {
+		m.bank(r)[k][vec.Index] = v
+	}
+}
+
+// RowRoot reads the data register of row tree i (an input port).
+func (m *Machine) RowRoot(i int) int64 { return m.rowRoot[i] }
+
+// SetRowRoot writes the data register of row tree i, modelling data
+// presented at input port i.
+func (m *Machine) SetRowRoot(i int, v int64) { m.rowRoot[i] = v }
+
+// ColRoot reads the data register of column tree j (an output port).
+func (m *Machine) ColRoot(j int) int64 { return m.colRoot[j] }
+
+// SetColRoot writes the data register of column tree j.
+func (m *Machine) SetColRoot(j int, v int64) { m.colRoot[j] = v }
+
+// root returns a pointer to the data register of the vector's tree.
+func (m *Machine) root(vec Vector) *int64 {
+	if vec.IsRow {
+		return &m.rowRoot[vec.Index]
+	}
+	return &m.colRoot[vec.Index]
+}
+
+// Router exposes the routing tree of a vector; algorithm code uses it
+// for schedules beyond the named primitives (e.g. COMPEX).
+func (m *Machine) Router(vec Vector) Router {
+	if vec.IsRow {
+		return m.rows[vec.Index]
+	}
+	return m.cols[vec.Index]
+}
+
+// checkVec validates a vector against the machine.
+func (m *Machine) checkVec(vec Vector) {
+	if vec.Index < 0 || vec.Index >= m.K {
+		panic(fmt.Sprintf("core: %v out of range for K=%d", vec, m.K))
+	}
+}
+
+// Reset clears all routing/pipeline state (not register contents), as
+// between independent problems.
+func (m *Machine) Reset() {
+	for i := 0; i < m.K; i++ {
+		m.rows[i].Reset()
+		m.cols[i].Reset()
+	}
+}
+
+// trace emits an event if a tracer is attached and returns end, so
+// primitives can close with `return m.trace(...)`.
+func (m *Machine) trace(op string, vec Vector, start, end vlsi.Time) vlsi.Time {
+	if m.Tracer != nil {
+		m.Tracer(op, vec, start, end)
+	}
+	return end
+}
+
+// Local charges the time of one bit-serial local step performed in
+// parallel by base processors: ops word-operations of the given
+// per-word bit cost. Comparison and addition of w-bit words cost w
+// bit-times with Θ(1) logic; multiplication costs 2w via the serial
+// pipeline multiplier of [6],[13] the paper adopts (Section II-B).
+func (m *Machine) Local(rel vlsi.Time, costBits int) vlsi.Time {
+	if costBits < 0 {
+		panic("core: negative local cost")
+	}
+	return rel + vlsi.Time(costBits)
+}
+
+// CostCompare is the bit cost of one word comparison or addition.
+func (m *Machine) CostCompare() int { return m.Cfg.WordBits }
+
+// CostMul is the bit cost of one word multiplication (serial
+// pipeline multiplier).
+func (m *Machine) CostMul() int { return 2 * m.Cfg.WordBits }

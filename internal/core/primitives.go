@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// This file implements the communication operations of Section II-B.
+// Every primitive takes the release time `rel` at which its inputs
+// are ready and returns the completion time; the paper's `pardo` is
+// expressed by issuing the same primitive on many vectors at the same
+// release time and taking the max of the completions (see ParDo), and
+// `pipedo` by issuing successive operations on the same trees at
+// increasing release times — the routers' persistent edge-occupancy
+// state makes the pipeline overlap real.
+
+// RootToLeaf broadcasts the contents of the data register at the root
+// of the vector's tree to register dst of the BPs selected by sel
+// (primitive 1 of Section II-B). A nil selector selects all BPs. The
+// IPs "pick up data from the parent and pass it on to the sons", so
+// the wave floods the whole tree regardless of the selector; the
+// selector gates only which leaves latch the word.
+func (m *Machine) RootToLeaf(vec Vector, sel Sel, dst Reg, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	val := *m.root(vec)
+	for k := 0; k < m.K; k++ {
+		if sel == nil || sel(k) {
+			m.setAt(dst, vec, k, val)
+		}
+	}
+	_, done := m.Router(vec).Broadcast(rel)
+	return m.trace("ROOTTOLEAF", vec, rel, done)
+}
+
+// LeafToRoot sends register src of the single BP selected by sel to
+// the root's data register (primitive 2). It panics unless exactly
+// one position is selected, matching the paper's "Selector specifies
+// one BP in Vector".
+func (m *Machine) LeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	leaf := -1
+	for k := 0; k < m.K; k++ {
+		if sel == nil || sel(k) {
+			if leaf >= 0 {
+				panic(fmt.Sprintf("core: LEAFTOROOT on %v selected more than one BP (%d and %d)", vec, leaf, k))
+			}
+			leaf = k
+		}
+	}
+	if leaf < 0 {
+		panic(fmt.Sprintf("core: LEAFTOROOT on %v selected no BP", vec))
+	}
+	*m.root(vec) = m.at(src, vec, leaf)
+	done := m.Router(vec).Gather(leaf, rel)
+	return m.trace("LEAFTOROOT", vec, rel, done)
+}
+
+// CountLeafToRoot counts the BPs of the vector whose flag register
+// holds 1 and leaves the count in the root's data register
+// (primitive 3). Each IP adds the counts of its two sons in the bit
+// pipeline.
+func (m *Machine) CountLeafToRoot(vec Vector, flag Reg, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	var n int64
+	for k := 0; k < m.K; k++ {
+		if m.at(flag, vec, k) == 1 {
+			n++
+		}
+	}
+	*m.root(vec) = n
+	done := m.Router(vec).ReduceUniform(rel)
+	return m.trace("COUNT-LEAFTOROOT", vec, rel, done)
+}
+
+// SumLeafToRoot adds register src over the selected BPs and leaves
+// the sum in the root's data register (primitive 4). Unselected BPs
+// contribute the additive identity.
+func (m *Machine) SumLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	var s int64
+	for k := 0; k < m.K; k++ {
+		if sel == nil || sel(k) {
+			s += m.at(src, vec, k)
+		}
+	}
+	*m.root(vec) = s
+	done := m.Router(vec).ReduceUniform(rel)
+	return m.trace("SUM-LEAFTOROOT", vec, rel, done)
+}
+
+// MinLeafToRoot extracts the minimum of register src over the
+// selected BPs, ignoring Null entries, and leaves it in the root's
+// data register (the MIN ascent used throughout Section III's graph
+// algorithms; the IPs compare MSB-first). If nothing is selected the
+// root receives Null.
+func (m *Machine) MinLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	min := Null
+	for k := 0; k < m.K; k++ {
+		if sel == nil || sel(k) {
+			v := m.at(src, vec, k)
+			if v == Null {
+				continue
+			}
+			if min == Null || v < min {
+				min = v
+			}
+		}
+	}
+	*m.root(vec) = min
+	done := m.Router(vec).ReduceUniform(rel)
+	return m.trace("MIN-LEAFTOROOT", vec, rel, done)
+}
+
+// LeafToLeaf is the composite operation 1 of Section II-B: LEAFTOROOT
+// from the single source BP followed by ROOTTOLEAF to the selected
+// destinations. It transfers srcReg of the source BP into dstReg of
+// every destination BP.
+func (m *Machine) LeafToLeaf(vec Vector, srcSel Sel, src Reg, dstSel Sel, dst Reg, rel vlsi.Time) vlsi.Time {
+	t := m.LeafToRoot(vec, srcSel, src, rel)
+	return m.RootToLeaf(vec, dstSel, dst, t)
+}
+
+// CountLeafToLeaf is composite operation 2: the flag count is
+// computed at the root and broadcast into dst of the selected BPs.
+func (m *Machine) CountLeafToLeaf(vec Vector, flag Reg, dstSel Sel, dst Reg, rel vlsi.Time) vlsi.Time {
+	t := m.CountLeafToRoot(vec, flag, rel)
+	return m.RootToLeaf(vec, dstSel, dst, t)
+}
+
+// SumLeafToLeaf is composite operation 3.
+func (m *Machine) SumLeafToLeaf(vec Vector, srcSel Sel, src Reg, dstSel Sel, dst Reg, rel vlsi.Time) vlsi.Time {
+	t := m.SumLeafToRoot(vec, srcSel, src, rel)
+	return m.RootToLeaf(vec, dstSel, dst, t)
+}
+
+// MinLeafToLeaf is the MIN composite used by the graph algorithms.
+func (m *Machine) MinLeafToLeaf(vec Vector, srcSel Sel, src Reg, dstSel Sel, dst Reg, rel vlsi.Time) vlsi.Time {
+	t := m.MinLeafToRoot(vec, srcSel, src, rel)
+	return m.RootToLeaf(vec, dstSel, dst, t)
+}
+
+// CompareExchange is the COMPEX step of Section IV's bitonic
+// algorithms: BPs at positions k and k+stride (k & stride == 0)
+// exchange register reg through their lowest common ancestor; the
+// pair is then ordered ascending where asc(k) is true, descending
+// otherwise. The exchanged words cross shared tree edges, so the
+// stride words through each block apex serialize — the congestion
+// that yields the paper's Θ(√N log N) bitonic bound.
+func (m *Machine) CompareExchange(vec Vector, stride int, reg Reg, asc func(k int) bool, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	if !vlsi.IsPow2(stride) || stride >= m.K {
+		panic(fmt.Sprintf("core: COMPEX stride %d on K=%d", stride, m.K))
+	}
+	for k := 0; k < m.K; k++ {
+		if k&stride != 0 {
+			continue
+		}
+		a, b := m.at(reg, vec, k), m.at(reg, vec, k+stride)
+		up := asc == nil || asc(k)
+		if (up && a > b) || (!up && a < b) {
+			m.setAt(reg, vec, k, b)
+			m.setAt(reg, vec, k+stride, a)
+		}
+	}
+	done := m.Router(vec).ExchangePairs(stride, rel)
+	// One word comparison at each BP after the words meet.
+	done = m.Local(done, m.CostCompare())
+	return m.trace("COMPEX", vec, rel, done)
+}
+
+// PermuteVector routes register src of every BP of the vector into
+// register dst of BP perm[k] — k's word travels up to the lowest
+// common ancestor of leaves k and perm[k] and back down, and words
+// sharing edges serialize. This is the general data-rearrangement
+// step behind the skew of the integer multiplier and the staging
+// moves of the graph programs; its cost ranges from Θ(log² K) for
+// local permutations to Θ(K log K) when many words cross the root.
+func (m *Machine) PermuteVector(vec Vector, perm []int, src, dst Reg, rel vlsi.Time) vlsi.Time {
+	m.checkVec(vec)
+	if len(perm) != m.K {
+		panic(fmt.Sprintf("core: permutation of %d on K=%d", len(perm), m.K))
+	}
+	seen := make([]bool, m.K)
+	for _, p := range perm {
+		if p < 0 || p >= m.K || seen[p] {
+			panic(fmt.Sprintf("core: perm is not a permutation (target %d)", p))
+		}
+		seen[p] = true
+	}
+	// Functional move (read all, then write all — the words are in
+	// flight simultaneously).
+	vals := make([]int64, m.K)
+	for k := 0; k < m.K; k++ {
+		vals[k] = m.at(src, vec, k)
+	}
+	for k := 0; k < m.K; k++ {
+		m.setAt(dst, vec, perm[k], vals[k])
+	}
+	router := m.Router(vec)
+	done := rel
+	for k := 0; k < m.K; k++ {
+		if perm[k] == k {
+			continue
+		}
+		if d := router.Route(router.Leaf(k), router.Leaf(perm[k]), rel); d > done {
+			done = d
+		}
+	}
+	return m.trace("PERMUTE", vec, rel, done)
+}
+
+// ParDo runs f on every row (or every column, per rows) released at
+// rel and returns the latest completion — the paper's
+// "for each i pardo" construct.
+func (m *Machine) ParDo(rows bool, rel vlsi.Time, f func(vec Vector, rel vlsi.Time) vlsi.Time) vlsi.Time {
+	done := rel
+	for i := 0; i < m.K; i++ {
+		vec := Col(i)
+		if rows {
+			vec = Row(i)
+		}
+		if t := f(vec, rel); t > done {
+			done = t
+		}
+	}
+	return done
+}

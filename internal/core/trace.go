@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vlsi"
+)
+
+// TraceEvent records one executed communication primitive.
+type TraceEvent struct {
+	// Op is the primitive's name as the paper writes it
+	// (ROOTTOLEAF, COUNT-LEAFTOROOT, COMPEX, …).
+	Op string
+	// Vec is the row or column the primitive ran on.
+	Vec Vector
+	// Start is the release time, End the completion time.
+	Start, End vlsi.Time
+}
+
+// TraceRecorder collects primitive events from a machine and
+// summarizes them — operation mix, per-operation time, and the
+// simulated makespan. Attach with Attach; the otsim tool prints its
+// Summary after a run.
+type TraceRecorder struct {
+	Events []TraceEvent
+}
+
+// Attach hooks the recorder into the machine's Tracer (replacing any
+// existing tracer).
+func (r *TraceRecorder) Attach(m *Machine) {
+	m.Tracer = func(op string, vec Vector, start, end vlsi.Time) {
+		r.Events = append(r.Events, TraceEvent{Op: op, Vec: vec, Start: start, End: end})
+	}
+}
+
+// Reset discards the recorded events.
+func (r *TraceRecorder) Reset() { r.Events = r.Events[:0] }
+
+// Makespan returns the latest completion time observed.
+func (r *TraceRecorder) Makespan() vlsi.Time {
+	var m vlsi.Time
+	for _, e := range r.Events {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// CountByOp returns how many times each primitive ran.
+func (r *TraceRecorder) CountByOp() map[string]int {
+	out := map[string]int{}
+	for _, e := range r.Events {
+		out[e.Op]++
+	}
+	return out
+}
+
+// BusyByOp returns the summed duration of each primitive. Because
+// primitives overlap (pardo, pipelining), the sum across operations
+// generally exceeds the makespan; the ratio is a parallelism figure.
+func (r *TraceRecorder) BusyByOp() map[string]vlsi.Time {
+	out := map[string]vlsi.Time{}
+	for _, e := range r.Events {
+		out[e.Op] += e.End - e.Start
+	}
+	return out
+}
+
+// Parallelism returns total busy time divided by makespan — the
+// average number of concurrently active primitives.
+func (r *TraceRecorder) Parallelism() float64 {
+	span := r.Makespan()
+	if span == 0 {
+		return 0
+	}
+	var busy vlsi.Time
+	for _, e := range r.Events {
+		busy += e.End - e.Start
+	}
+	return float64(busy) / float64(span)
+}
+
+// Summary renders the recorder's statistics as an aligned table.
+func (r *TraceRecorder) Summary() string {
+	var b strings.Builder
+	counts := r.CountByOp()
+	busy := r.BusyByOp()
+	ops := make([]string, 0, len(counts))
+	for op := range counts {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(&b, "%-22s %8s %12s %12s\n", "primitive", "count", "busy", "mean")
+	for _, op := range ops {
+		mean := vlsi.Time(0)
+		if counts[op] > 0 {
+			mean = busy[op] / vlsi.Time(counts[op])
+		}
+		fmt.Fprintf(&b, "%-22s %8d %12d %12d\n", op, counts[op], busy[op], mean)
+	}
+	fmt.Fprintf(&b, "events %d, makespan %d bit-times, avg parallelism %.1f\n",
+		len(r.Events), r.Makespan(), r.Parallelism())
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vlsi"
+)
+
+func TestTraceRecorder(t *testing.T) {
+	m := testMachine(t, 8)
+	var rec TraceRecorder
+	rec.Attach(m)
+
+	m.SetRowRoot(0, 1)
+	m.RootToLeaf(Row(0), nil, RegA, 0)
+	m.CountLeafToRoot(Row(0), RegFlag, 0)
+	m.CountLeafToRoot(Row(1), RegFlag, 0)
+
+	if len(rec.Events) != 3 {
+		t.Fatalf("events = %d", len(rec.Events))
+	}
+	counts := rec.CountByOp()
+	if counts["ROOTTOLEAF"] != 1 || counts["COUNT-LEAFTOROOT"] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	if rec.Makespan() <= 0 {
+		t.Error("zero makespan")
+	}
+	busy := rec.BusyByOp()
+	if busy["ROOTTOLEAF"] <= 0 {
+		t.Error("zero busy time")
+	}
+	s := rec.Summary()
+	for _, want := range []string{"ROOTTOLEAF", "COUNT-LEAFTOROOT", "makespan", "parallelism"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceRecorderReset(t *testing.T) {
+	m := testMachine(t, 4)
+	var rec TraceRecorder
+	rec.Attach(m)
+	m.SetRowRoot(0, 1)
+	m.RootToLeaf(Row(0), nil, RegA, 0)
+	rec.Reset()
+	if len(rec.Events) != 0 {
+		t.Error("reset did not clear events")
+	}
+	if rec.Parallelism() != 0 {
+		t.Error("parallelism of empty trace should be 0")
+	}
+}
+
+// TestTraceParallelism: a pardo over all rows overlaps its
+// primitives, so average parallelism must exceed 1.
+func TestTraceParallelism(t *testing.T) {
+	m := testMachine(t, 16)
+	var rec TraceRecorder
+	rec.Attach(m)
+	m.ParDo(true, 0, func(vec Vector, rel vlsi.Time) vlsi.Time {
+		m.SetRowRoot(vec.Index, 1)
+		return m.RootToLeaf(vec, nil, RegA, rel)
+	})
+	if p := rec.Parallelism(); p <= 1.5 {
+		t.Errorf("pardo parallelism = %.2f; want > 1.5", p)
+	}
+}

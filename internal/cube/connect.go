@@ -1,0 +1,162 @@
+package cube
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// Null mirrors the distinguished "no value" word of the OTN programs.
+const Null int64 = -1 << 62
+
+// Registers of the CONNECT program.
+const (
+	regAdj  = "adj"
+	regDu   = "Du"
+	regDv   = "Dv"
+	regCand = "cand"
+	regC    = "C"
+	regT    = "T"
+	regTmp  = "tmp"
+)
+
+// LoadAdjacency stores the N-vertex adjacency matrix, one entry per
+// PE in row-major order (PE v·N+u holds A(v,u)). The machine must
+// have exactly N² processors.
+func (m *Machine) LoadAdjacency(adj [][]int64) int {
+	n := len(adj)
+	if n*n != m.P {
+		panic(fmt.Sprintf("cube: %d-vertex adjacency on %d PEs", n, m.P))
+	}
+	bank := m.bank(regAdj)
+	for v := 0; v < n; v++ {
+		copy(bank[v*n:(v+1)*n], adj[v])
+	}
+	return n
+}
+
+// Connect runs the Hirschberg–Chandra–Sarwate CONNECT algorithm on
+// the adjacency matrix previously stored with LoadAdjacency: the same
+// hook-to-minimum + cycle-break + pointer-jumping scheme as the OTN
+// implementation (internal/algorithms/graph), with every
+// communication realized by hypercube sweeps and permutation routes
+// priced by the host network's DimCost. It returns the component
+// labels and the completion time.
+func (m *Machine) Connect(n int, rel vlsi.Time) ([]int64, vlsi.Time) {
+	if n*n != m.P {
+		panic(fmt.Sprintf("cube: Connect over %d vertices on %d PEs", n, m.P))
+	}
+	low := vlsi.Log2Floor(n)
+	d := make([]int64, n)
+	for v := range d {
+		d[v] = int64(v)
+	}
+	t := rel
+	for round := 0; round < vlsi.Log2Ceil(n)+2; round++ {
+		var changed bool
+		d, t, changed = m.connectRound(n, low, d, t)
+		if !changed {
+			break
+		}
+	}
+	return d, t
+}
+
+func (m *Machine) connectRound(n, low int, d []int64, rel vlsi.Time) ([]int64, vlsi.Time, bool) {
+	// Distribute labels: PE (v,u) needs D(u) and D(v). The labels
+	// live logically on the diagonal PEs; each distribution is one
+	// permutation route (fetch from PE (u,u) resp. (v,v)).
+	du := m.bank(regDu)
+	dv := m.bank(regDv)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			p := v*n + u
+			du[p] = d[u]
+			dv[p] = d[v]
+		}
+	}
+	t := m.chargePermute(rel)
+	t = m.chargePermute(t)
+
+	// Candidate at PE (v,u): D(u) if the edge leaves v's component.
+	adj := m.bank(regAdj)
+	cand := m.bank(regCand)
+	for p := 0; p < m.P; p++ {
+		if adj[p] == 1 && du[p] != dv[p] {
+			cand[p] = du[p]
+		} else {
+			cand[p] = Null
+		}
+	}
+	t += vlsi.Time(m.WordBits)
+
+	// C(v): row minimum (low dims).
+	t = m.SegReduceMin(low, regCand, regC, t)
+	c := m.bank(regC)
+	cOf := make([]int64, n)
+	for v := 0; v < n; v++ {
+		cOf[v] = c[v*n]
+	}
+
+	// T(s): PE (s,j) fetches C(j) (a permutation route), masks rows
+	// not labelled s, and the row minimum delivers T(s).
+	tmp := m.bank(regTmp)
+	for s := 0; s < n; s++ {
+		for j := 0; j < n; j++ {
+			p := s*n + j
+			if d[j] == int64(s) {
+				tmp[p] = cOf[j]
+			} else {
+				tmp[p] = Null
+			}
+		}
+	}
+	t = m.chargePermute(t)
+	t += vlsi.Time(m.WordBits)
+	t = m.SegReduceMin(low, regTmp, regT, t)
+	tt := m.bank(regT)
+	hook := make([]int64, n)
+	for s := 0; s < n; s++ {
+		hook[s] = tt[s*n]
+	}
+
+	// Hook with the 2-cycle break (identical reasoning to the OTN
+	// version: min-hooking admits only mutual pairs).
+	newD := append([]int64(nil), d...)
+	changed := false
+	for s := 0; s < n; s++ {
+		if d[s] != int64(s) || hook[s] == Null {
+			continue
+		}
+		e := hook[s]
+		if hook[e] == int64(s) && int64(s) < e {
+			continue
+		}
+		newD[s] = e
+		changed = true
+	}
+	t = m.chargePermute(t) // resolving E(E(s)) is one more route
+
+	// Pointer jumping: each jump is a permutation fetch D(D(v)).
+	for j := 0; j < vlsi.Log2Ceil(n); j++ {
+		prev := append([]int64(nil), newD...)
+		for v := 0; v < n; v++ {
+			newD[v] = prev[prev[v]]
+		}
+		t = m.chargePermute(t)
+	}
+	return newD, t, changed
+}
+
+// chargePermute charges the two-sweep cost of one permutation route
+// without moving data (used where the program's data plane is the
+// host slice d itself).
+func (m *Machine) chargePermute(rel vlsi.Time) vlsi.Time {
+	t := rel
+	for pass := 0; pass < 2; pass++ {
+		for d := 0; d < m.dims; d++ {
+			t += m.DimCost(d) + vlsi.Time(m.WordBits)
+		}
+	}
+	return t
+}

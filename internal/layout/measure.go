@@ -1,0 +1,121 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// The Measure* constructors compute exactly the quantities the
+// simulators consume — bounding-box area, pitch, and per-edge tree
+// geometry — without materializing every rectangle and wire of the
+// chip. They agree with the corresponding Build* layouts (a test
+// asserts this) but stay cheap at the K=1024 scales the benchmark
+// sweeps reach.
+
+// OTNGeom is the measured geometry of a (K×K)-OTN.
+type OTNGeom struct {
+	K, WordBits, Pitch int
+	AreaVal            vlsi.Area
+	RowTree, ColTree   *TreeGeom
+}
+
+// Area returns the bounding-box area.
+func (g *OTNGeom) Area() vlsi.Area { return g.AreaVal }
+
+// MeasureOTN computes the geometry of a (K×K)-OTN without placing
+// every component.
+func MeasureOTN(k, wordBits int) (*OTNGeom, error) {
+	if !vlsi.IsPow2(k) {
+		return nil, fmt.Errorf("layout: OTN base side %d is not a power of two", k)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("layout: word width %d", wordBits)
+	}
+	side := bpSide(wordBits)
+	tracks := wordBits
+	pitch := side + tracks + 2
+	origin := tracks + 2
+	centers := make([]int, k)
+	for j := 0; j < k; j++ {
+		centers[j] = origin + j*pitch + side/2
+	}
+	_, geomT := embedTree(centers, tracks)
+	extent := int64(origin + (k-1)*pitch + side)
+	return &OTNGeom{
+		K: k, WordBits: wordBits, Pitch: pitch,
+		AreaVal: vlsi.Area(extent * extent),
+		RowTree: geomT, ColTree: geomT,
+	}, nil
+}
+
+// OTCGeom is the measured geometry of a (K×K)-OTC with cycles of
+// length L.
+type OTCGeom struct {
+	K, L, WordBits, Pitch int
+	AreaVal               vlsi.Area
+	RowTree, ColTree      *TreeGeom
+	CycleEdgeLen          []int
+}
+
+// Area returns the bounding-box area.
+func (g *OTCGeom) Area() vlsi.Area { return g.AreaVal }
+
+// MeasureOTC computes the geometry of a (K×K)-OTC without placing
+// every component.
+func MeasureOTC(k, l, wordBits int) (*OTCGeom, error) {
+	if !vlsi.IsPow2(k) {
+		return nil, fmt.Errorf("layout: OTC side %d is not a power of two", k)
+	}
+	proto, err := BuildCycle(l, wordBits)
+	if err != nil {
+		return nil, err
+	}
+	tracks := wordBits
+	blockSide := proto.W
+	if proto.H > blockSide {
+		blockSide = proto.H
+	}
+	pitch := blockSide + tracks + 2
+	origin := tracks + 2
+	centers := make([]int, k)
+	for j := 0; j < k; j++ {
+		centers[j] = origin + j*pitch + blockSide/2
+	}
+	_, geomT := embedTree(centers, tracks)
+	extent := int64(origin + (k-1)*pitch + blockSide)
+	return &OTCGeom{
+		K: k, L: l, WordBits: wordBits, Pitch: pitch,
+		AreaVal:      vlsi.Area(extent * extent),
+		RowTree:      geomT,
+		ColTree:      geomT,
+		CycleEdgeLen: proto.EdgeLen,
+	}, nil
+}
+
+// MeshGeom is the measured geometry of a K×K mesh.
+type MeshGeom struct {
+	K, CellSide, Pitch, LinkLen int
+	AreaVal                     vlsi.Area
+}
+
+// Area returns the bounding-box area.
+func (g *MeshGeom) Area() vlsi.Area { return g.AreaVal }
+
+// MeasureMesh computes the geometry of a K×K mesh without placing
+// every component.
+func MeasureMesh(k, wordBits int) (*MeshGeom, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("layout: mesh side %d", k)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("layout: word width %d", wordBits)
+	}
+	side := bpSide(wordBits)
+	pitch := side + 2
+	extent := int64((k-1)*pitch + side)
+	return &MeshGeom{
+		K: k, CellSide: side, Pitch: pitch, LinkLen: pitch,
+		AreaVal: vlsi.Area(extent * extent),
+	}, nil
+}

@@ -1,0 +1,96 @@
+package layout
+
+import (
+	"testing"
+)
+
+// TestMeasureMatchesBuildOTN pins the measure-only constructor to the
+// fully materialized layout: identical pitch and tree geometry, and
+// area within the margin the placed chip's channel strips add.
+func TestMeasureMatchesBuildOTN(t *testing.T) {
+	for _, k := range []int{4, 16, 64} {
+		built, err := BuildOTN(k, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := MeasureOTN(k, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if measured.Pitch != built.Pitch {
+			t.Errorf("K=%d: pitch %d vs %d", k, measured.Pitch, built.Pitch)
+		}
+		for v := 2; v < 2*k; v++ {
+			if measured.RowTree.EdgeLen[v] != built.RowTree.EdgeLen[v] {
+				t.Fatalf("K=%d: row edge %d differs: %d vs %d",
+					k, v, measured.RowTree.EdgeLen[v], built.RowTree.EdgeLen[v])
+			}
+		}
+		ratio := float64(measured.Area()) / float64(built.Area())
+		if ratio < 0.8 || ratio > 1.3 {
+			t.Errorf("K=%d: measured area %d vs built %d (ratio %v)",
+				k, measured.Area(), built.Area(), ratio)
+		}
+	}
+}
+
+func TestMeasureMatchesBuildOTC(t *testing.T) {
+	for _, k := range []int{4, 16} {
+		built, err := BuildOTC(k, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := MeasureOTC(k, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if measured.Pitch != built.Pitch {
+			t.Errorf("K=%d: pitch %d vs %d", k, measured.Pitch, built.Pitch)
+		}
+		for q := range measured.CycleEdgeLen {
+			if measured.CycleEdgeLen[q] != built.CycleEdgeLen[q] {
+				t.Errorf("K=%d: cycle edge %d differs", k, q)
+			}
+		}
+		ratio := float64(measured.Area()) / float64(built.Area())
+		if ratio < 0.8 || ratio > 1.3 {
+			t.Errorf("K=%d: measured area %d vs built %d", k, measured.Area(), built.Area())
+		}
+	}
+}
+
+func TestMeasureMatchesBuildMesh(t *testing.T) {
+	built, err := BuildMesh(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := MeasureMesh(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.Pitch != built.Pitch || measured.LinkLen != built.LinkLen {
+		t.Error("mesh pitch mismatch")
+	}
+	ratio := float64(measured.Area()) / float64(built.Area())
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("mesh area %d vs %d", measured.Area(), built.Area())
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := MeasureOTN(3, 8); err == nil {
+		t.Error("bad OTN accepted")
+	}
+	if _, err := MeasureOTN(4, 0); err == nil {
+		t.Error("bad word width accepted")
+	}
+	if _, err := MeasureOTC(3, 4, 8); err == nil {
+		t.Error("bad OTC accepted")
+	}
+	if _, err := MeasureMesh(0, 8); err == nil {
+		t.Error("bad mesh accepted")
+	}
+	if _, err := MeasureMesh(4, 0); err == nil {
+		t.Error("bad mesh word width accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// Mesh is the placed layout of a K×K mesh-connected processor array,
+// the "low area, high time" baseline of the paper's Section I. Every
+// wire connects nearest neighbours, so all wires have pitch length
+// and the network is insensitive to the choice of wire-delay model
+// (Section VII-D: "it has only short wires").
+type Mesh struct {
+	Chip *Chip
+	K    int
+	// CellSide is the processor footprint side; Pitch the distance
+	// between adjacent processor origins; LinkLen the length of every
+	// neighbour wire.
+	CellSide, Pitch, LinkLen int
+}
+
+// BuildMesh places a K×K mesh whose cells hold a constant number of
+// registers of the given width. For the sorting layout of [29] the
+// cell is Θ(log N) area; for the Boolean-matrix layout of [15] callers
+// pass wordBits=1 to get Θ(1) cells and a Θ(N²) chip.
+func BuildMesh(k, wordBits int) (*Mesh, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("layout: mesh side %d", k)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("layout: word width %d", wordBits)
+	}
+	side := bpSide(wordBits)
+	pitch := side + 2
+	chip := &Chip{Name: fmt.Sprintf("%d x %d mesh", k, k)}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			chip.Rects = append(chip.Rects, Rect{
+				X: j * pitch, Y: i * pitch, W: side, H: side,
+				Kind: "bp", Label: fmt.Sprintf("PE(%d,%d)", i, j),
+			})
+			cx, cy := j*pitch+side/2, i*pitch+side/2
+			if j+1 < k {
+				chip.Wires = append(chip.Wires, Wire{
+					From: Point{X: cx, Y: cy},
+					To:   Point{X: cx + pitch, Y: cy},
+					Kind: "mesh",
+				})
+			}
+			if i+1 < k {
+				chip.Wires = append(chip.Wires, Wire{
+					From: Point{X: cx, Y: cy},
+					To:   Point{X: cx, Y: cy + pitch},
+					Kind: "mesh",
+				})
+			}
+		}
+	}
+	return &Mesh{Chip: chip, K: k, CellSide: side, Pitch: pitch, LinkLen: pitch}, nil
+}
+
+// Area returns the layout's bounding-box area.
+func (m *Mesh) Area() vlsi.Area { return m.Chip.Area() }

@@ -1,0 +1,153 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// Cycle is the placed layout of one cycle of the OTC (the paper's
+// Fig. 2): L base processors, each an O(log N) × O(1) rectangle,
+// stacked so the whole cycle occupies an O(log N) × O(log N) block,
+// with nearest-neighbour cycle wires and one closing wire.
+type Cycle struct {
+	Chip *Chip
+	// L is the number of base processors in the cycle.
+	L int
+	// W, H are the block dimensions in λ-units.
+	W, H int
+	// EdgeLen[q] is the length of the cycle wire from BP(q) to
+	// BP((q+1) mod L).
+	EdgeLen []int
+}
+
+// BuildCycle places one OTC cycle of length l for the given register
+// width.
+func BuildCycle(l, wordBits int) (*Cycle, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("layout: cycle length %d", l)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("layout: word width %d", wordBits)
+	}
+	bpW, bpH := wordBits, 2 // one w-bit register row plus serial logic
+	chip := &Chip{Name: fmt.Sprintf("OTC cycle (L=%d)", l)}
+	edge := make([]int, l)
+	for q := 0; q < l; q++ {
+		chip.Rects = append(chip.Rects, Rect{
+			X: 1, Y: q * bpH, W: bpW, H: bpH,
+			Kind: "bp", Label: fmt.Sprintf("BP(%d)", q),
+		})
+		if q+1 < l {
+			chip.Wires = append(chip.Wires, Wire{
+				From: Point{X: 1, Y: q*bpH + bpH/2},
+				To:   Point{X: 1, Y: (q+1)*bpH + bpH/2},
+				Kind: "cycle",
+			})
+			edge[q] = bpH
+		}
+	}
+	if l > 1 {
+		// Closing wire from the last BP back to BP(0) runs down the
+		// side of the block.
+		chip.Wires = append(chip.Wires, Wire{
+			From: Point{X: 0, Y: (l-1)*bpH + bpH/2},
+			To:   Point{X: 0, Y: bpH / 2},
+			Kind: "cycle",
+		})
+		edge[l-1] = (l - 1) * bpH
+	} else {
+		edge[0] = 1
+	}
+	return &Cycle{Chip: chip, L: l, W: bpW + 2, H: l * bpH, EdgeLen: edge}, nil
+}
+
+// OTC is the placed layout of a (K×K)-orthogonal-tree-cycles network
+// (the paper's Fig. 3): a K×K matrix of cycles, each of length L,
+// with row and column trees over the cycles' BP(0) ports. With
+// K = N/log N and L = log N the bounding-box area is Θ(N²), a log² N
+// factor below the OTN with the same number of base processors.
+type OTC struct {
+	Chip *Chip
+	// K is the number of cycles per side; L the cycle length.
+	K, L int
+	// WordBits is the register width.
+	WordBits int
+	// Pitch is the distance between adjacent cycle-block origins.
+	Pitch int
+	// RowTree/ColTree is the measured geometry of one row/column
+	// tree over the K cycle columns/rows.
+	RowTree, ColTree *TreeGeom
+	// CycleEdgeLen[q] is the wire length from BP(q) to BP(q+1 mod L)
+	// within every cycle.
+	CycleEdgeLen []int
+}
+
+// BuildOTC places a (K×K)-OTC with cycles of length l. K must be a
+// power of two.
+func BuildOTC(k, l, wordBits int) (*OTC, error) {
+	if !vlsi.IsPow2(k) {
+		return nil, fmt.Errorf("layout: OTC side %d is not a power of two", k)
+	}
+	proto, err := BuildCycle(l, wordBits)
+	if err != nil {
+		return nil, err
+	}
+	tracks := wordBits
+	blockSide := proto.W
+	if proto.H > blockSide {
+		blockSide = proto.H
+	}
+	pitch := blockSide + tracks + 2
+	origin := tracks + 2
+
+	chip := &Chip{Name: fmt.Sprintf("(%d x %d)-OTC (L=%d)", k, k, l)}
+	centers := make([]int, k)
+	for j := 0; j < k; j++ {
+		centers[j] = origin + j*pitch + blockSide/2
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			ox, oy := origin+j*pitch, origin+i*pitch
+			for _, r := range proto.Chip.Rects {
+				r.X += ox
+				r.Y += oy
+				r.Label = fmt.Sprintf("C(%d,%d)/%s", i, j, r.Label)
+				chip.Rects = append(chip.Rects, r)
+			}
+			for _, w := range proto.Chip.Wires {
+				w.From.X += ox
+				w.From.Y += oy
+				w.To.X += ox
+				w.To.Y += oy
+				chip.Wires = append(chip.Wires, w)
+			}
+		}
+	}
+
+	// Row and column trees over the cycle blocks, in the channels.
+	pos, rowGeom := embedTree(centers, tracks)
+	for i := 0; i < k; i++ {
+		baseY := origin + i*pitch - 1
+		chip.Wires = append(chip.Wires, treeWires(pos, tracks, baseY, -1, true, "rowtree")...)
+	}
+	_, colGeom := embedTree(centers, tracks)
+	for j := 0; j < k; j++ {
+		baseX := origin + j*pitch - 1
+		chip.Wires = append(chip.Wires, treeWires(pos, tracks, baseX, -1, false, "coltree")...)
+	}
+
+	return &OTC{
+		Chip:         chip,
+		K:            k,
+		L:            l,
+		WordBits:     wordBits,
+		Pitch:        pitch,
+		RowTree:      rowGeom,
+		ColTree:      colGeom,
+		CycleEdgeLen: proto.EdgeLen,
+	}, nil
+}
+
+// Area returns the layout's bounding-box area.
+func (o *OTC) Area() vlsi.Area { return o.Chip.Area() }

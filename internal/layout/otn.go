@@ -1,0 +1,143 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vlsi"
+)
+
+// OTN is the placed layout of a (K×K)-orthogonal-trees network plus
+// the measured tree geometry the simulator needs. It realizes the
+// paper's Fig. 1: a K×K matrix of base processors with every row and
+// every column forming the leaves of a complete binary tree embedded
+// in the Θ(log N) strip between adjacent rows/columns.
+type OTN struct {
+	Chip *Chip
+	// K is the side of the base (K² base processors).
+	K int
+	// WordBits is the register width the processors were sized for.
+	WordBits int
+	// Pitch is the distance between adjacent base-processor centres.
+	Pitch int
+	// RowTree is the measured geometry of one row tree (all rows are
+	// congruent); ColTree likewise for columns.
+	RowTree, ColTree *TreeGeom
+}
+
+// bpSide returns the side of the square footprint of one base
+// processor holding a constant number of w-bit registers plus Θ(1)
+// bit-serial logic — Θ(log N) area, as in Section II-B of the paper.
+func bpSide(wordBits int) int {
+	const registers = 4 // A, B, flag/C, R — what the paper's programs use
+	s := int(math.Ceil(math.Sqrt(float64(registers*wordBits + 4))))
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// BuildOTN places a (K×K)-OTN for the given word width. K must be a
+// power of two.
+func BuildOTN(k, wordBits int) (*OTN, error) {
+	if !vlsi.IsPow2(k) {
+		return nil, fmt.Errorf("layout: OTN base side %d is not a power of two", k)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("layout: word width %d", wordBits)
+	}
+	side := bpSide(wordBits)
+	tracks := wordBits // the Θ(log N) inter-row/column channel
+	pitch := side + tracks + 2
+
+	chip := &Chip{Name: fmt.Sprintf("(%d x %d)-OTN", k, k)}
+
+	// Base processors: BP(i,j) centred at (origin + j·pitch,
+	// origin + i·pitch). The channel strip sits before each row and
+	// column, so the base starts after one channel.
+	origin := tracks + 2
+	centers := make([]int, k)
+	for j := 0; j < k; j++ {
+		centers[j] = origin + j*pitch + side/2
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			chip.Rects = append(chip.Rects, Rect{
+				X: origin + j*pitch, Y: origin + i*pitch, W: side, H: side,
+				Kind:  "bp",
+				Label: fmt.Sprintf("BP(%d,%d)", i, j),
+			})
+		}
+	}
+
+	// Row trees: embedded in the horizontal strip above each row of
+	// BPs. All rows congruent; measure geometry once.
+	_, rowGeom := embedTree(centers, tracks)
+	for i := 0; i < k; i++ {
+		baseY := origin + i*pitch - 1
+		pos, _ := embedTree(centers, tracks)
+		chip.Wires = append(chip.Wires, treeWires(pos, tracks, baseY, -1, true, "rowtree")...)
+	}
+
+	// Column trees: vertical strips left of each column of BPs.
+	_, colGeom := embedTree(centers, tracks)
+	for j := 0; j < k; j++ {
+		baseX := origin + j*pitch - 1
+		pos, _ := embedTree(centers, tracks)
+		chip.Wires = append(chip.Wires, treeWires(pos, tracks, baseX, -1, false, "coltree")...)
+	}
+
+	// Internal processors: one per internal tree node; drawn as unit
+	// dots (the black dots of Fig. 1). Positions approximate; their
+	// area is accounted inside the channel strip.
+	// (Row trees: k trees × (k−1) IPs; column trees likewise.)
+	chip.Rects = append(chip.Rects, ipDots(k, centers, origin, pitch, tracks)...)
+
+	return &OTN{
+		Chip:     chip,
+		K:        k,
+		WordBits: wordBits,
+		Pitch:    pitch,
+		RowTree:  rowGeom,
+		ColTree:  colGeom,
+	}, nil
+}
+
+// ipDots places a unit marker for every internal tree node so the
+// rendering shows the paper's black dots and component counts include
+// the 2K(K−1) internal processors.
+func ipDots(k int, centers []int, origin, pitch, tracks int) []Rect {
+	var rects []Rect
+	depth := vlsi.Log2Floor(k)
+	pos, _ := embedTree(centers, tracks)
+	offset := func(v int) int {
+		h := depth - vlsi.Log2Floor(v)
+		if h > tracks {
+			h = tracks
+		}
+		return h
+	}
+	for i := 0; i < k; i++ {
+		baseY := origin + i*pitch - 1
+		for v := 1; v < k; v++ {
+			rects = append(rects, Rect{
+				X: pos[v], Y: baseY - offset(v), W: 1, H: 1,
+				Kind: "ip", Label: fmt.Sprintf("row%d/ip%d", i, v),
+			})
+		}
+	}
+	for j := 0; j < k; j++ {
+		baseX := origin + j*pitch - 1
+		for v := 1; v < k; v++ {
+			rects = append(rects, Rect{
+				X: baseX - offset(v), Y: pos[v], W: 1, H: 1,
+				Kind: "ip", Label: fmt.Sprintf("col%d/ip%d", j, v),
+			})
+		}
+	}
+	return rects
+}
+
+// Area returns the layout's bounding-box area, Θ(K² log² K) — shown
+// optimal for the mesh of trees by Leighton [16].
+func (o *OTN) Area() vlsi.Area { return o.Chip.Area() }

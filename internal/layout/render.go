@@ -1,0 +1,116 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the chip as a standalone SVG document, used by
+// cmd/otlayout to regenerate the paper's Figs. 1–3 as images.
+func (c *Chip) SVG() string {
+	minX, minY, maxX, maxY := c.Bounds()
+	w, h := maxX-minX+2, maxY-minY+2
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="%d %d %d %d" width="%d" height="%d">`+"\n",
+		minX-1, minY-1, w, h, w*4, h*4)
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#fdfdf8"/>`+"\n", minX-1, minY-1, w, h)
+	for _, wire := range c.Wires {
+		color := map[string]string{
+			"rowtree": "#1c6ccc",
+			"coltree": "#cc3d1c",
+			"cycle":   "#2d8a4e",
+			"mesh":    "#666666",
+		}[wire.Kind]
+		if color == "" {
+			color = "#999999"
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="0.4"/>`+"\n",
+			wire.From.X, wire.From.Y, wire.To.X, wire.To.Y, color)
+	}
+	for _, r := range c.Rects {
+		switch r.Kind {
+		case "bp":
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#222" stroke-width="0.5"><title>%s</title></rect>`+"\n",
+				r.X, r.Y, r.W, r.H, r.Label)
+		case "ip":
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="0.8" fill="#111"><title>%s</title></circle>`+"\n",
+				r.X, r.Y, r.Label)
+		default:
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#ddd"/>`+"\n", r.X, r.Y, r.W, r.H)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ASCII renders a coarse terminal picture of the chip: base
+// processors as "O", internal processors as "*", wires as dots. scale
+// divides coordinates; use 1 for small chips.
+func (c *Chip) ASCII(scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	minX, minY, maxX, maxY := c.Bounds()
+	w := (maxX-minX)/scale + 2
+	h := (maxY-minY)/scale + 2
+	if w > 400 {
+		w = 400
+	}
+	if h > 200 {
+		h = 200
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y int, ch byte) {
+		px, py := (x-minX)/scale, (y-minY)/scale
+		if px >= 0 && px < w && py >= 0 && py < h {
+			grid[py][px] = ch
+		}
+	}
+	for _, wire := range c.Wires {
+		x1, y1, x2, y2 := wire.From.X, wire.From.Y, wire.To.X, wire.To.Y
+		if x1 == x2 {
+			lo, hi := y1, y2
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for y := lo; y <= hi; y += scale {
+				put(x1, y, '.')
+			}
+		} else {
+			lo, hi := x1, x2
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for x := lo; x <= hi; x += scale {
+				put(x, y1, '.')
+			}
+			// Rectilinear dogleg for diagonal connections.
+			loY, hiY := y1, y2
+			if loY > hiY {
+				loY, hiY = hiY, loY
+			}
+			for y := loY; y <= hiY; y += scale {
+				put(x2, y, '.')
+			}
+		}
+	}
+	for _, r := range c.Rects {
+		switch r.Kind {
+		case "bp":
+			put(r.X+r.W/2, r.Y+r.H/2, 'O')
+		case "ip":
+			put(r.X, r.Y, '*')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Name)
+	for _, row := range grid {
+		line := strings.TrimRight(string(row), " ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func BenchmarkShearSort16x16(b *testing.B) {
+	m, err := New(16, vlsi.DefaultConfig(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := workload.NewRNG(1).Ints(256, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ShearSort(xs, 0)
+	}
+}
+
+func BenchmarkCannon16(b *testing.B) {
+	m, err := New(16, vlsi.DefaultConfig(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := workload.NewRNG(2)
+	x := rng.IntMatrix(16, 100)
+	y := rng.IntMatrix(16, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CannonMatMul(x, y, false, 0)
+	}
+}

@@ -1,0 +1,222 @@
+// Package mesh implements the mesh-connected processor array, the
+// "low area, large time" baseline of the paper's Section I: K×K
+// processors, nearest-neighbour wires of constant length, Θ(N log² N)
+// area for sorting layouts. Because every wire is short the mesh is
+// the one network whose time is insensitive to the wire-delay model
+// (Section VII-D).
+//
+// Algorithms provided, with the substitutions DESIGN.md documents:
+//
+//   - Shearsort: N numbers in Θ(√N log N) word-steps (the cited
+//     Thompson–Kung schedule is Θ(√N); the extra log factor does not
+//     change any ordering in Table I).
+//   - Cannon's algorithm: N×N (Boolean or integer) matrix product in
+//     Θ(N) steps on N² cells — the optimal-A·T² mesh entry of
+//     Table II [15].
+//   - Transitive closure by ⌈log N⌉ Boolean squarings, giving
+//     connected components in Θ(N log N) steps (the cited
+//     Levitt–Kautz array does Θ(N); same area class, and the mesh
+//     stays the worst A·T² in Table III by polynomial factors).
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+// Machine is a simulated K×K mesh.
+type Machine struct {
+	// K is the side of the array.
+	K int
+	// Cfg is the word width and delay model.
+	Cfg vlsi.Config
+	// Geom is the measured layout.
+	Geom *layout.MeshGeom
+
+	// hop is the time for one word to cross one neighbour link.
+	hop vlsi.Time
+}
+
+// New builds a K×K mesh.
+func New(k int, cfg vlsi.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := layout.MeasureMesh(k, cfg.WordBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		K:    k,
+		Cfg:  cfg,
+		Geom: geom,
+		hop:  cfg.WireTransit(geom.LinkLen),
+	}, nil
+}
+
+// Area returns the chip area.
+func (m *Machine) Area() vlsi.Area { return m.Geom.Area() }
+
+// StepTime is the cost of one synchronous neighbour compare-exchange
+// step: a word across the link plus the bit-serial comparison.
+func (m *Machine) StepTime() vlsi.Time {
+	return m.hop + vlsi.Time(m.Cfg.WordBits)
+}
+
+// MacStepTime is the cost of one systolic multiply-accumulate step:
+// two operand shifts overlap, then the serial multiplier and adder.
+func (m *Machine) MacStepTime() vlsi.Time {
+	return m.hop + vlsi.Time(3*m.Cfg.WordBits)
+}
+
+// ShearSort sorts N = K² values into snake order and returns them in
+// ascending linear order together with the completion time.
+// ⌈log K⌉+1 phases of alternating row (snake-direction) and column
+// odd-even transposition sorts, K steps each.
+func (m *Machine) ShearSort(xs []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	k := m.K
+	if len(xs) != k*k {
+		panic(fmt.Sprintf("mesh: %d values on a %d×%d mesh", len(xs), k, k))
+	}
+	grid := make([][]int64, k)
+	for i := range grid {
+		grid[i] = append([]int64(nil), xs[i*k:(i+1)*k]...)
+	}
+	steps := 0
+	phases := vlsi.Log2Ceil(k) + 1
+	for p := 0; p < phases; p++ {
+		// Row phase: sort each row, direction alternating by row
+		// (snake order).
+		for pass := 0; pass < k; pass++ {
+			for i := 0; i < k; i++ {
+				asc := i%2 == 0
+				for j := pass % 2; j+1 < k; j += 2 {
+					a, b := grid[i][j], grid[i][j+1]
+					if (asc && a > b) || (!asc && a < b) {
+						grid[i][j], grid[i][j+1] = b, a
+					}
+				}
+			}
+			steps++
+		}
+		// Column phase: sort all columns ascending.
+		for pass := 0; pass < k; pass++ {
+			for j := 0; j < k; j++ {
+				for i := pass % 2; i+1 < k; i += 2 {
+					if grid[i][j] > grid[i+1][j] {
+						grid[i][j], grid[i+1][j] = grid[i+1][j], grid[i][j]
+					}
+				}
+			}
+			steps++
+		}
+	}
+	// A final row phase leaves exact snake order.
+	for pass := 0; pass < k; pass++ {
+		for i := 0; i < k; i++ {
+			asc := i%2 == 0
+			for j := pass % 2; j+1 < k; j += 2 {
+				a, b := grid[i][j], grid[i][j+1]
+				if (asc && a > b) || (!asc && a < b) {
+					grid[i][j], grid[i][j+1] = b, a
+				}
+			}
+		}
+		steps++
+	}
+	out := make([]int64, 0, k*k)
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			out = append(out, grid[i]...)
+		} else {
+			for j := k - 1; j >= 0; j-- {
+				out = append(out, grid[i][j])
+			}
+		}
+	}
+	return out, rel + vlsi.Time(steps)*m.StepTime()
+}
+
+// CannonMatMul computes C = A·B (integer, or Boolean when boolean is
+// true) by Cannon's systolic schedule: after the initial skew, 2K
+// shift-and-accumulate steps.
+func (m *Machine) CannonMatMul(a, b [][]int64, boolean bool, rel vlsi.Time) ([][]int64, vlsi.Time) {
+	k := m.K
+	if len(a) != k || len(b) != k {
+		panic(fmt.Sprintf("mesh: %d×%d product on a %d×%d mesh", len(a), len(b), k, k))
+	}
+	// Local skewed copies.
+	as := make([][]int64, k)
+	bs := make([][]int64, k)
+	cs := make([][]int64, k)
+	for i := 0; i < k; i++ {
+		as[i] = make([]int64, k)
+		bs[i] = make([]int64, k)
+		cs[i] = make([]int64, k)
+		for j := 0; j < k; j++ {
+			as[i][j] = a[i][(j+i)%k]
+			bs[i][j] = b[(i+j)%k][j]
+		}
+	}
+	steps := k // the skew itself: up to K−1 shifts, overlapped rows/cols
+	for s := 0; s < k; s++ {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if boolean {
+					if as[i][j] != 0 && bs[i][j] != 0 {
+						cs[i][j] = 1
+					}
+				} else {
+					cs[i][j] += as[i][j] * bs[i][j]
+				}
+			}
+		}
+		// Shift A left, B up.
+		for i := 0; i < k; i++ {
+			first := as[i][0]
+			copy(as[i], as[i][1:])
+			as[i][k-1] = first
+		}
+		for j := 0; j < k; j++ {
+			first := bs[0][j]
+			for i := 0; i+1 < k; i++ {
+				bs[i][j] = bs[i+1][j]
+			}
+			bs[k-1][j] = first
+		}
+		steps++
+	}
+	return cs, rel + vlsi.Time(steps)*m.MacStepTime()
+}
+
+// ConnectedComponents labels the vertices of the N-vertex graph with
+// adjacency matrix adj (N = K) by repeated Boolean squaring of
+// (A ∨ I) on the mesh: ⌈log N⌉ Cannon products. Labels are the
+// minimum reachable vertex.
+func (m *Machine) ConnectedComponents(adj [][]int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	k := m.K
+	if len(adj) != k {
+		panic(fmt.Sprintf("mesh: %d-vertex graph on a %d×%d mesh", len(adj), k, k))
+	}
+	reach := make([][]int64, k)
+	for i := range reach {
+		reach[i] = append([]int64(nil), adj[i]...)
+		reach[i][i] = 1
+	}
+	t := rel
+	for s := 0; s < vlsi.Log2Ceil(k); s++ {
+		reach, t = m.CannonMatMul(reach, reach, true, t)
+	}
+	labels := make([]int64, k)
+	for v := 0; v < k; v++ {
+		for u := 0; u < k; u++ {
+			if reach[v][u] != 0 {
+				labels[v] = int64(u)
+				break
+			}
+		}
+	}
+	return labels, t
+}

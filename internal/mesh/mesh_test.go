@@ -1,0 +1,202 @@
+package mesh
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms/graph"
+	"repro/internal/algorithms/matrix"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func machine(t testing.TB, k int) *Machine {
+	t.Helper()
+	m, err := New(k, vlsi.DefaultConfig(k*k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, vlsi.DefaultConfig(16)); err == nil {
+		t.Error("empty mesh accepted")
+	}
+	if _, err := New(4, vlsi.Config{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func sortedCopy(xs []int64) []int64 {
+	out := append([]int64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestShearSort(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		m := machine(t, k)
+		xs := workload.NewRNG(uint64(k)).Ints(k*k, 1000)
+		got, done := m.ShearSort(xs, 0)
+		want := sortedCopy(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("K=%d: shearsort wrong at %d: %v", k, i, got)
+			}
+		}
+		if done <= 0 {
+			t.Error("shearsort took no time")
+		}
+	}
+}
+
+func TestShearSortQuick(t *testing.T) {
+	m := machine(t, 4)
+	f := func(raw [16]int16) bool {
+		xs := make([]int64, 16)
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		got, _ := m.ShearSort(xs, 0)
+		want := sortedCopy(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShearSortTimeShape: Θ(√N log N) word-steps → time roughly
+// linear in K (times step cost).
+func TestShearSortTimeShape(t *testing.T) {
+	var ks, times []float64
+	for k := 4; k <= 32; k *= 2 {
+		m := machine(t, k)
+		xs := workload.NewRNG(1).Ints(k*k, 1<<20)
+		_, done := m.ShearSort(xs, 0)
+		ks = append(ks, float64(k))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(ks, times)
+	if e < 0.8 || e > 1.6 {
+		t.Errorf("shearsort time grows as K^%.2f; want ~K·log K", e)
+	}
+}
+
+func TestCannonMatMul(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		m := machine(t, k)
+		rng := workload.NewRNG(uint64(k) + 3)
+		a := rng.IntMatrix(k, 20)
+		b := rng.IntMatrix(k, 20)
+		c, done := m.CannonMatMul(a, b, false, 0)
+		want := matrix.RefMatMul(a, b)
+		for i := range want {
+			for j := range want[i] {
+				if c[i][j] != want[i][j] {
+					t.Fatalf("K=%d: C[%d][%d] = %d, want %d", k, i, j, c[i][j], want[i][j])
+				}
+			}
+		}
+		if done <= 0 {
+			t.Error("Cannon took no time")
+		}
+	}
+}
+
+func TestCannonBoolean(t *testing.T) {
+	k := 8
+	m := machine(t, k)
+	rng := workload.NewRNG(5)
+	a := rng.BoolMatrix(k, 0.3)
+	b := rng.BoolMatrix(k, 0.3)
+	c, _ := m.CannonMatMul(a, b, true, 0)
+	want := matrix.RefBoolMatMul(a, b)
+	for i := range want {
+		for j := range want[i] {
+			if c[i][j] != want[i][j] {
+				t.Fatalf("bool C[%d][%d] = %d, want %d", i, j, c[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestCannonTimeLinear: Θ(K) systolic steps.
+func TestCannonTimeLinear(t *testing.T) {
+	var ks, times []float64
+	for k := 4; k <= 32; k *= 2 {
+		m := machine(t, k)
+		rng := workload.NewRNG(uint64(k))
+		_, done := m.CannonMatMul(rng.IntMatrix(k, 5), rng.IntMatrix(k, 5), false, 0)
+		ks = append(ks, float64(k))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(ks, times)
+	if e < 0.8 || e > 1.3 {
+		t.Errorf("Cannon time grows as K^%.2f; want ~K", e)
+	}
+}
+
+func TestMeshConnectedComponents(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		g := workload.NewRNG(uint64(n)).Gnp(n, 2.5/float64(n))
+		adj := make([][]int64, n)
+		for i := range adj {
+			adj[i] = make([]int64, n)
+			for j := range adj[i] {
+				if g.Adj[i][j] {
+					adj[i][j] = 1
+				}
+			}
+		}
+		m := machine(t, n)
+		labels, done := m.ConnectedComponents(adj, 0)
+		if !graph.SamePartition(labels, graph.RefComponents(g)) {
+			t.Errorf("n=%d: wrong components", n)
+		}
+		if done <= 0 {
+			t.Error("components took no time")
+		}
+	}
+}
+
+// TestMeshInsensitiveToDelayModel: Section VII-D — the mesh has only
+// short wires, so constant- vs log-delay changes its time by at most
+// a small constant factor.
+func TestMeshInsensitiveToDelayModel(t *testing.T) {
+	k := 16
+	xs := workload.NewRNG(9).Ints(k*k, 1000)
+	mLog, _ := New(k, vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: vlsi.LogDelay{}})
+	mConst, _ := New(k, vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: vlsi.ConstantDelay{}})
+	_, dLog := mLog.ShearSort(xs, 0)
+	_, dConst := mConst.ShearSort(xs, 0)
+	ratio := float64(dLog) / float64(dConst)
+	if ratio > 2.0 {
+		t.Errorf("mesh time ratio log/const = %v; short wires should make it ~1", ratio)
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	m := machine(t, 4)
+	for name, f := range map[string]func(){
+		"shearsort": func() { m.ShearSort(make([]int64, 3), 0) },
+		"cannon":    func() { m.CannonMatMul(make([][]int64, 2), make([][]int64, 2), false, 0) },
+		"cc":        func() { m.ConnectedComponents(make([][]int64, 2), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted wrong arity", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

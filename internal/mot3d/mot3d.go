@@ -1,0 +1,240 @@
+// Package mot3d implements the three-dimensional mesh of trees —
+// Leighton's generalization of the orthogonal trees network that the
+// paper discusses at the end of Section VII-B: "Leighton describes an
+// interesting network called the three-dimensional mesh of trees (a
+// generalization of the OTN to three dimensions). Using this network,
+// he is able to get an efficient A·T² bound for matrix multiplication
+// (area = O(N⁴), time = O(log N), A·T² = O(N⁴ log² N))."
+//
+// The network is an N×N×N lattice of base processors in which every
+// axis-parallel line of N processors forms the leaves of a complete
+// binary tree (3N² trees in all). The standard two-dimensional
+// embedding places the N² (i,j)-blocks in a grid with the k-lines
+// inside each block, giving an Θ(N⁴) bounding box whose longest tree
+// wires are Θ(N²) — so, under Thompson's model, a tree traversal
+// costs Θ(log N) per edge and a full broadcast Θ(log² N) bit-serially
+// (Leighton's Θ(log N) is for word-parallel links; the bit-serial
+// factor is the same one the OTN pays).
+//
+// Matrix multiplication needs one broadcast along each of two axes, a
+// local multiply, and a combining ascent along the third — no operand
+// realignment at all, which is the structural advantage over the
+// (N²×N²) two-dimensional arrangement of Table II.
+package mot3d
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+)
+
+// Geom is the measured geometry of the 2-D embedding of an N×N×N
+// mesh of trees.
+type Geom struct {
+	N, WordBits int
+	AreaVal     vlsi.Area
+	// KTree spans the N leaves of one within-block line; IJTree the
+	// N leaves of a cross-block line (i- and j-trees are congruent).
+	KTree, IJTree *layout.TreeGeom
+}
+
+// Area returns the bounding-box area, Θ(N⁴).
+func (g *Geom) Area() vlsi.Area { return g.AreaVal }
+
+// Measure computes the embedding geometry without placing every
+// component: blocks of N cells on an N×N block grid, channel tracks
+// of Θ(log N) between cells and between blocks.
+func Measure(n, wordBits int) (*Geom, error) {
+	if !vlsi.IsPow2(n) {
+		return nil, fmt.Errorf("mot3d: side %d is not a power of two", n)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("mot3d: word width %d", wordBits)
+	}
+	cellPitch := wordBits + 4
+	blockPitch := n*cellPitch + wordBits + 2
+
+	// k-tree: leaves 1 cell apart inside a block.
+	kLeaves := make([]int, n)
+	for i := range kLeaves {
+		kLeaves[i] = i*cellPitch + cellPitch/2
+	}
+	_, kGeom := layoutEmbed(kLeaves, wordBits)
+
+	// i/j-tree: leaves one block apart.
+	ijLeaves := make([]int, n)
+	for i := range ijLeaves {
+		ijLeaves[i] = i*blockPitch + blockPitch/2
+	}
+	_, ijGeom := layoutEmbed(ijLeaves, wordBits)
+
+	side := int64(n * blockPitch)
+	return &Geom{
+		N: n, WordBits: wordBits,
+		AreaVal: vlsi.Area(side * side),
+		KTree:   kGeom,
+		IJTree:  ijGeom,
+	}, nil
+}
+
+// layoutEmbed adapts the layout package's tree embedding.
+func layoutEmbed(leaves []int, tracks int) ([]int, *layout.TreeGeom) {
+	return layout.EmbedTree(leaves, tracks)
+}
+
+// Machine is a simulated N×N×N mesh of trees.
+type Machine struct {
+	// N is the lattice side.
+	N int
+	// Cfg is the word width and delay model.
+	Cfg vlsi.Config
+	// Geom is the measured embedding.
+	Geom *Geom
+
+	// iTrees[j*N+k] spans cells (·,j,k); jTrees[i*N+k] spans
+	// (i,·,k); kTrees[i*N+j] spans (i,j,·).
+	iTrees, jTrees, kTrees []*tree.Tree
+	vals                   map[string][]int64
+}
+
+// New builds an N×N×N mesh of trees. N must be a power of two.
+func New(n int, cfg vlsi.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := Measure(n, cfg.WordBits)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		N: n, Cfg: cfg, Geom: geom,
+		iTrees: make([]*tree.Tree, n*n),
+		jTrees: make([]*tree.Tree, n*n),
+		kTrees: make([]*tree.Tree, n*n),
+		vals:   map[string][]int64{},
+	}
+	for t := 0; t < n*n; t++ {
+		if m.iTrees[t], err = tree.New(geom.IJTree, cfg); err != nil {
+			return nil, err
+		}
+		if m.jTrees[t], err = tree.New(geom.IJTree, cfg); err != nil {
+			return nil, err
+		}
+		if m.kTrees[t], err = tree.New(geom.KTree, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Area returns the chip area, Θ(N⁴).
+func (m *Machine) Area() vlsi.Area { return m.Geom.Area() }
+
+// bank returns (allocating if needed) a register over all N³ cells.
+func (m *Machine) bank(r string) []int64 {
+	b, ok := m.vals[r]
+	if !ok {
+		b = make([]int64, m.N*m.N*m.N)
+		m.vals[r] = b
+	}
+	return b
+}
+
+// idx linearizes a lattice coordinate.
+func (m *Machine) idx(i, j, k int) int { return (i*m.N+j)*m.N + k }
+
+// Get reads register r of cell (i, j, k).
+func (m *Machine) Get(r string, i, j, k int) int64 { return m.bank(r)[m.idx(i, j, k)] }
+
+// Set writes register r of cell (i, j, k).
+func (m *Machine) Set(r string, i, j, k int, v int64) { m.bank(r)[m.idx(i, j, k)] = v }
+
+// MatMul computes C = A·B (Boolean when boolean is set): A(i,k)
+// enters at the roots of the j-trees, B(k,j) at the roots of the
+// i-trees, the products form in the base, and the k-trees deliver
+// C(i,j) at their roots — Leighton's schedule, three tree phases and
+// one local multiply.
+func (m *Machine) MatMul(a, b [][]int64, boolean bool, rel vlsi.Time) ([][]int64, vlsi.Time) {
+	n := m.N
+	if len(a) != n || len(b) != n {
+		panic(fmt.Sprintf("mot3d: %d×%d product on an N=%d machine", len(a), len(b), n))
+	}
+	// Phase 1: A(i,k) along the j-axis.
+	regA := m.bank("A")
+	var t vlsi.Time
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			_, d := m.jTrees[i*n+k].Broadcast(rel)
+			if d > t {
+				t = d
+			}
+			for j := 0; j < n; j++ {
+				regA[m.idx(i, j, k)] = a[i][k]
+			}
+		}
+	}
+	// Phase 2: B(k,j) along the i-axis.
+	regB := m.bank("B")
+	t2 := t
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			_, d := m.iTrees[j*n+k].Broadcast(t)
+			if d > t2 {
+				t2 = d
+			}
+			for i := 0; i < n; i++ {
+				regB[m.idx(i, j, k)] = b[k][j]
+			}
+		}
+	}
+	t = t2
+	// Phase 3: multiply everywhere.
+	regC := m.bank("C")
+	for idx := range regC {
+		if boolean {
+			if regA[idx] != 0 && regB[idx] != 0 {
+				regC[idx] = 1
+			} else {
+				regC[idx] = 0
+			}
+		} else {
+			regC[idx] = regA[idx] * regB[idx]
+		}
+	}
+	t += vlsi.Time(2 * m.Cfg.WordBits)
+	// Phase 4: combine along the k-axis.
+	c := make([][]int64, n)
+	t4 := t
+	for i := 0; i < n; i++ {
+		c[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			d := m.kTrees[i*n+j].ReduceUniform(t)
+			if d > t4 {
+				t4 = d
+			}
+			var s int64
+			for k := 0; k < n; k++ {
+				if boolean {
+					if regC[m.idx(i, j, k)] != 0 {
+						s = 1
+					}
+				} else {
+					s += regC[m.idx(i, j, k)]
+				}
+			}
+			c[i][j] = s
+		}
+	}
+	return c, t4
+}
+
+// Reset clears all tree occupancy state.
+func (m *Machine) Reset() {
+	for t := 0; t < m.N*m.N; t++ {
+		m.iTrees[t].Reset()
+		m.jTrees[t].Reset()
+		m.kTrees[t].Reset()
+	}
+}

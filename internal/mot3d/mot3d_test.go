@@ -1,0 +1,160 @@
+package mot3d
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms/matrix"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func machine(t testing.TB, n int) *Machine {
+	t.Helper()
+	m, err := New(n, vlsi.DefaultConfig(n*n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, vlsi.DefaultConfig(27)); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := New(4, vlsi.Config{}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := Measure(4, 0); err == nil {
+		t.Error("zero word width accepted")
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	m := machine(t, 4)
+	m.Set("X", 1, 2, 3, 99)
+	if m.Get("X", 1, 2, 3) != 99 {
+		t.Error("register write lost")
+	}
+	if m.Get("X", 3, 2, 1) != 0 {
+		t.Error("register aliasing across coordinates")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		m := machine(t, n)
+		rng := workload.NewRNG(uint64(n) + 41)
+		a := rng.IntMatrix(n, 30)
+		b := rng.IntMatrix(n, 30)
+		c, done := m.MatMul(a, b, false, 0)
+		want := matrix.RefMatMul(a, b)
+		for i := range want {
+			for j := range want[i] {
+				if c[i][j] != want[i][j] {
+					t.Fatalf("n=%d: C[%d][%d] = %d, want %d", n, i, j, c[i][j], want[i][j])
+				}
+			}
+		}
+		if done <= 0 {
+			t.Error("matmul took no time")
+		}
+	}
+}
+
+func TestMatMulBoolean(t *testing.T) {
+	n := 8
+	m := machine(t, n)
+	rng := workload.NewRNG(17)
+	a := rng.BoolMatrix(n, 0.3)
+	b := rng.BoolMatrix(n, 0.3)
+	c, _ := m.MatMul(a, b, true, 0)
+	want := matrix.RefBoolMatMul(a, b)
+	for i := range want {
+		for j := range want[i] {
+			if c[i][j] != want[i][j] {
+				t.Fatalf("bool C[%d][%d] = %d, want %d", i, j, c[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulQuick(t *testing.T) {
+	m := machine(t, 4)
+	f := func(seed uint64) bool {
+		rng := workload.NewRNG(seed)
+		a := rng.IntMatrix(4, 9)
+		b := rng.IntMatrix(4, 9)
+		m.Reset()
+		c, _ := m.MatMul(a, b, false, 0)
+		want := matrix.RefMatMul(a, b)
+		for i := range want {
+			for j := range want[i] {
+				if c[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAreaShape: the embedding is Θ(N⁴).
+func TestAreaShape(t *testing.T) {
+	var ns, areas []float64
+	for _, n := range []int{4, 8, 16, 32} {
+		g, err := Measure(n, vlsi.WordBitsFor(n*n*n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, float64(n))
+		areas = append(areas, float64(g.Area()))
+	}
+	e := vlsi.GrowthExponent(ns, areas)
+	if e < 3.5 || e > 4.5 {
+		t.Errorf("3D mesh-of-trees area grows as N^%.2f; want ≈4", e)
+	}
+}
+
+// TestTimePolylog: matmul time is polylog in N (Θ(log² N)
+// bit-serially; Leighton's Θ(log N) is word-parallel).
+func TestTimePolylog(t *testing.T) {
+	var logs, times []float64
+	for _, n := range []int{2, 4, 8, 16} {
+		m := machine(t, n)
+		rng := workload.NewRNG(uint64(n))
+		_, done := m.MatMul(rng.IntMatrix(n, 5), rng.IntMatrix(n, 5), false, 0)
+		logs = append(logs, float64(vlsi.Log2Ceil(n)+1))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(logs, times)
+	if e < 0.5 || e > 3.0 {
+		t.Errorf("3D matmul time grows as log^%.2f N; want polylog", e)
+	}
+	if times[len(times)-1] > 16*16*8 {
+		t.Errorf("3D matmul at n=16 took %v bit-times; not polylog", times[len(times)-1])
+	}
+}
+
+// TestFasterThanBigOTN: with no operand realignment, the 3D schedule
+// beats the two-dimensional Table II arrangement on time for the same
+// product.
+func TestFasterThanBigOTN(t *testing.T) {
+	n := 8
+	rng := workload.NewRNG(3)
+	a := rng.BoolMatrix(n, 0.4)
+	b := rng.BoolMatrix(n, 0.4)
+	m3 := machine(t, n)
+	_, t3 := m3.MatMul(a, b, true, 0)
+	m2, err := matrix.BigMachine(n, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2 := matrix.BigMatMul(m2, a, b, true, 0)
+	if t3 >= t2 {
+		t.Errorf("3D matmul (%d) not faster than 2D big-OTN (%d)", t3, t2)
+	}
+}

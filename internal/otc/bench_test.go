@@ -1,0 +1,30 @@
+package otc
+
+import (
+	"testing"
+
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func BenchmarkSortOTC(b *testing.B) {
+	m, err := New(16, 4, vlsi.DefaultConfig(64*64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := workload.NewRNG(1).Perm(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		SortOTC(m, xs, 0)
+	}
+}
+
+func BenchmarkEmulatedOTNConstruction(b *testing.B) {
+	cfg := vlsi.DefaultConfig(64 * 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEmulatedOTN(64, 4, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package otc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// This file converts VECTORMATRIXMULT-OTN (Section III-A) to the OTC
+// natively, the way Section VI prescribes for the matrix and graph
+// algorithms: "each cycle must store a log N × log N submatrix" of
+// the operand. BP q of cycle (i, j) holds row q of the block
+// B[iL..iL+L) × [jL..jL+L) in L weight registers; the input vector
+// streams through the row ports (L words per port), each cycle forms
+// its block's contribution by circulating partial sums, and the
+// column trees deliver the output vector at the column ports.
+
+// weightReg names the register holding column p of a BP's submatrix
+// row.
+func weightReg(p int) core.Reg { return core.Reg(fmt.Sprintf("W%d", p)) }
+
+// LoadMatrixOTC distributes the (K·L)×(K·L) matrix b into the base:
+// BP q of cycle (i, j) receives B(i·L+q, j·L+p) into weight register
+// p, for p = 0..L−1.
+func LoadMatrixOTC(m *Machine, b [][]int64) {
+	n := m.K * m.L
+	if len(b) != n {
+		panic(fmt.Sprintf("otc: %d×? matrix on a (%d·%d)² machine", len(b), m.K, m.L))
+	}
+	for i := 0; i < m.K; i++ {
+		for j := 0; j < m.K; j++ {
+			for q := 0; q < m.L; q++ {
+				for p := 0; p < m.L; p++ {
+					m.Set(weightReg(p), i, j, q, b[i*m.L+q][j*m.L+p])
+				}
+			}
+		}
+	}
+}
+
+// VectorMatrixMult computes y = x·B against the matrix resident via
+// LoadMatrixOTC. x has K·L elements, entering L per row port; y
+// emerges L per column port. Communication is Θ(log² N) as on the
+// OTN; the base processing is Θ(log² N) bit-serial work per cycle —
+// slower than the OTN's Θ(log N), but "for most problems it is the
+// communication time which dominates" (Section V-A).
+func VectorMatrixMult(m *Machine, x []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	k, l := m.K, m.L
+	n := k * l
+	if len(x) != n {
+		panic(fmt.Sprintf("otc: vector of %d on a (%d·%d)² machine", len(x), k, l))
+	}
+
+	// Step 1: x(i·L+q) to A(i,j,q) for every j.
+	t := m.ParDo(true, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		m.SetRowRootQ(vec.Index, x[vec.Index*l:(vec.Index+1)*l])
+		return m.RootToCycle(vec, nil, core.RegA, r)
+	})
+
+	// Step 2: every cycle forms its block's contribution to each of
+	// its L output columns: C(i,j,p) = Σ_q A(i,j,q)·B(iL+q, jL+p).
+	// The partial sums circulate around the cycle, one multiply-and-
+	// accumulate per BP per round: L rounds of (serial multiply +
+	// add + shift).
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			for p := 0; p < l; p++ {
+				var s int64
+				for q := 0; q < l; q++ {
+					s += m.Get(core.RegA, i, j, q) * m.Get(weightReg(p), i, j, q)
+				}
+				m.Set(core.RegC, i, j, p, s)
+			}
+		}
+	}
+	for round := 0; round < l; round++ {
+		t = m.Local(t, 3*m.Cfg.WordBits) // multiply + accumulate
+		t += m.shift                     // circulate the accumulators
+	}
+
+	// Step 3: column sums — SUM-CYCLETOROOT delivers, per position p,
+	// Σ_i C(i,j,p) = y(j·L+p) at column port j.
+	y := make([]int64, n)
+	t = m.ParDo(false, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		done := m.SumCycleToRoot(vec, nil, core.RegC, r)
+		copy(y[vec.Index*l:(vec.Index+1)*l], m.ColRootQ(vec.Index))
+		return done
+	})
+	return y, t
+}

@@ -1,0 +1,123 @@
+package otc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// SortOTC is procedure SORT-OTC of Section VI: N = K·L numbers enter
+// through the K row ports, L per port at Θ(log N) intervals, and
+// leave sorted through the K column ports — first the K smallest in
+// ascending order across the ports, Θ(log N) later the next K, and so
+// on. The steps are the paper's:
+//
+//  1. ROOTTOCYCLE(row(i), dest=(all, A))
+//  2. CYCLETOCYCLE(column(i), source=(i, A), dest=(all, B))
+//  3. L local rounds: compare A(q) with the circulating B(q),
+//     accumulating the count C(q) (tie-broken on element index so
+//     duplicate keys sort correctly, as in the OTN variant)
+//  4. SUM-CYCLETOCYCLE(row(i), source=(all, C), dest=(all, R))
+//  5. L pipelined slots: the cycle holding the element of rank
+//     K·p + i drags it to BP(0) (a cut-through circulation) and
+//     LEAFTOROOT lifts it out of column i
+//
+// It returns the fully sorted sequence and the completion time.
+func SortOTC(m *Machine, xs []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	k, l := m.K, m.L
+	n := k * l
+	if len(xs) != n {
+		panic(fmt.Sprintf("otc: sorting %d values on a (%d×%d)-OTC of length-%d cycles (want %d)", len(xs), k, k, l, n))
+	}
+
+	// Step 1: distribute x(i·L+q) to A(i,j,q) for every j.
+	t := m.ParDo(true, rel, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		m.SetRowRootQ(vec.Index, xs[vec.Index*l:(vec.Index+1)*l])
+		return m.RootToCycle(vec, nil, core.RegA, r)
+	})
+
+	// Step 2: column i copies cycle (i,i)'s A into everyone's B, so
+	// B(i,j,q) = x(j·L+q).
+	t = m.ParDo(false, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		return m.CycleToCycle(vec, core.One(vec.Index), core.RegA, nil, core.RegB, r)
+	})
+
+	// Step 3: count, circulating B. After p shifts, B(q) holds the
+	// element originally at position (q+p) mod L.
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			for q := 0; q < l; q++ {
+				m.Set(core.RegC, i, j, q, 0)
+			}
+		}
+	}
+	for p := 0; p < l; p++ {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				for q := 0; q < l; q++ {
+					a := m.Get(core.RegA, i, j, q)
+					b := m.Get(core.RegB, i, j, q)
+					qo := (q + p) % l
+					ia, ib := i*l+q, j*l+qo
+					if a > b || (a == b && ia > ib) {
+						m.Set(core.RegC, i, j, q, m.Get(core.RegC, i, j, q)+1)
+					}
+				}
+			}
+		}
+		t = m.Local(t, m.Cfg.WordBits)
+		t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+			return m.VectorCirculate(vec, []core.Reg{core.RegB}, r)
+		})
+	}
+
+	// Step 4: ranks. R(i,j,q) = Σ_j' C(i,j',q) = rank of x(i·L+q).
+	t = m.ParDo(true, t, func(vec core.Vector, r vlsi.Time) vlsi.Time {
+		return m.SumCycleToCycle(vec, core.RegC, nil, core.RegR, r)
+	})
+
+	// Step 5: extraction, L pipelined slots per column.
+	out := make([]int64, n)
+	hop := m.Cfg.Model.FirstBit(maxInt(m.Geom.CycleEdgeLen))
+	w := m.WordTime()
+	done := t
+	for i := 0; i < k; i++ {
+		var circDone vlsi.Time
+		colDone := t
+		for p := 0; p < l; p++ {
+			rank := int64(p*k + i)
+			found := false
+			for j := 0; j < k && !found; j++ {
+				for q := 0; q < l && !found; q++ {
+					if m.Get(core.RegR, j, i, q) == rank {
+						out[int(rank)] = m.Get(core.RegA, j, i, q)
+						// Drag A(q) to BP(0): cut-through over q
+						// cycle hops, then lift through the tree.
+						drag := vlsi.MaxTime(t+vlsi.Time(p)*w, circDone) + vlsi.Time(q)*hop + w
+						colDone = m.cols[i].Gather(j, drag)
+						circDone = drag
+						found = true
+					}
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("otc: no element of rank %d in column %d", rank, i))
+			}
+		}
+		if colDone > done {
+			done = colDone
+		}
+	}
+	return out, done
+}
+
+func maxInt(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,20 @@
+package psn
+
+import (
+	"testing"
+
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func BenchmarkBitonicSort1024(b *testing.B) {
+	p, err := New(1024, vlsi.DefaultConfig(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := workload.NewRNG(1).Ints(1024, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BitonicSort(xs, 0)
+	}
+}

@@ -1,0 +1,195 @@
+// Package psn implements the perfect shuffle network (shuffle-
+// exchange network) of Stone [25], one of the paper's two "fast but
+// large" baselines. N processors are connected by shuffle wires
+// (PE i → PE rotate-left(i)) and exchange wires (2i ↔ 2i+1). Under
+// the layout of Kleitman et al. [14] the chip area is Θ(N²/log² N)
+// and the longest wires Θ(N/log N), so under Thompson's model every
+// shuffle step pays an Θ(log N) wire delay — the extra log factor the
+// paper charges the PSN in Tables I and IV.
+//
+// Algorithms:
+//
+//   - Stone's bitonic sort: log² N shuffle/compare passes.
+//   - Dekel–Nassimi–Sahni matrix multiplication on N³ processors
+//     (the classical-schedule entry of Table II), each hypercube
+//     dimension step realized by a full shuffle cycle.
+package psn
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+// Machine is a simulated N-processor shuffle-exchange network.
+type Machine struct {
+	// N is the number of processors (a power of two).
+	N int
+	// Cfg is the word width and delay model.
+	Cfg vlsi.Config
+
+	m int // log2 N
+	// shuffleHop is the word transit over the longest shuffle wire;
+	// exchangeHop over the constant-length exchange wires.
+	shuffleHop, exchangeHop vlsi.Time
+}
+
+// New builds an N-processor PSN. N must be a power of two ≥ 2.
+func New(n int, cfg vlsi.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !vlsi.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("psn: %d processors; want a power of two ≥ 2", n)
+	}
+	return &Machine{
+		N:           n,
+		Cfg:         cfg,
+		m:           vlsi.Log2Floor(n),
+		shuffleHop:  cfg.WireTransit(layout.PSNMaxWire(n)),
+		exchangeHop: cfg.WireTransit(2),
+	}, nil
+}
+
+// Area returns the chip area under the cited layout.
+func (p *Machine) Area() vlsi.Area { return layout.PSNArea(p.N, p.Cfg.WordBits) }
+
+// ShuffleTime is the cost of one synchronous shuffle step.
+func (p *Machine) ShuffleTime() vlsi.Time { return p.shuffleHop }
+
+// rotl rotates the low m bits of x left by one.
+func (p *Machine) rotl(x int) int {
+	hi := (x >> (p.m - 1)) & 1
+	return ((x << 1) | hi) & (p.N - 1)
+}
+
+// rotrN rotates the low m bits of x right by r.
+func (p *Machine) rotrN(x, r int) int {
+	r %= p.m
+	for i := 0; i < r; i++ {
+		lo := x & 1
+		x = (x >> 1) | (lo << (p.m - 1))
+	}
+	return x
+}
+
+// shuffle applies the shuffle permutation to the data: the word at
+// PE i moves to PE rotate-left(i).
+func (p *Machine) shuffle(vals []int64) {
+	out := make([]int64, p.N)
+	for i := 0; i < p.N; i++ {
+		out[p.rotl(i)] = vals[i]
+	}
+	copy(vals, out)
+}
+
+// BitonicSort sorts N values with Stone's schedule: m stages of m
+// shuffle passes; during the last s passes of stage s the exchange
+// comparators fire. After r shuffles the element with logical index
+// e = rotr^r(PE) sits at the PE, so the comparator between PEs 2i and
+// 2i+1 touches logical-index bit m−r, and the merge direction is bit
+// s of the logical index. It returns the sorted values and the
+// completion time.
+func (p *Machine) BitonicSort(xs []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
+	if len(xs) != p.N {
+		panic(fmt.Sprintf("psn: %d values on %d processors", len(xs), p.N))
+	}
+	vals := append([]int64(nil), xs...)
+	t := rel
+	cmp := vlsi.Time(p.Cfg.WordBits)
+	for s := 1; s <= p.m; s++ {
+		for r := 1; r <= p.m; r++ {
+			p.shuffle(vals)
+			t += p.shuffleHop
+			if r < p.m-s+1 {
+				continue
+			}
+			for i := 0; i < p.N/2; i++ {
+				lo, hi := 2*i, 2*i+1
+				e := p.rotrN(lo, r)
+				asc := (e>>s)&1 == 0
+				a, b := vals[lo], vals[hi]
+				if (asc && a > b) || (!asc && a < b) {
+					vals[lo], vals[hi] = b, a
+				}
+			}
+			t += p.exchangeHop + cmp
+		}
+	}
+	return vals, t
+}
+
+// DNSMatMul multiplies two n×n matrices with the Dekel–Nassimi–Sahni
+// schedule on n³ processors (n a power of two): replicate A and B
+// across the cube, multiply, then sum along the k-dimension. Each of
+// the Θ(log n) hypercube dimension-steps is realized on the
+// shuffle-exchange by a full cycle of 3·log n shuffles (bringing the
+// target bit to the exchange position), which is what makes the PSN's
+// classical matmul a Θ(log² n)-time, Θ(n⁶/log² n)-area affair — the
+// Table II entry.
+func (p *Machine) DNSMatMul(a, b [][]int64, boolean bool, rel vlsi.Time) ([][]int64, vlsi.Time) {
+	n := len(a)
+	if n*n*n != p.N {
+		panic(fmt.Sprintf("psn: DNS of %d×%d matrices needs %d processors, machine has %d", n, n, n*n*n, p.N))
+	}
+	if len(b) != n {
+		panic("psn: operand size mismatch")
+	}
+	q := vlsi.Log2Floor(n)
+	cubeStep := vlsi.Time(3*q) * p.shuffleHop // one dimension via shuffles
+	cmp := vlsi.Time(p.Cfg.WordBits)
+
+	// PE (i,j,k) — index k·n² + i·n + j. Replication phases:
+	// A(i,k) to all j (q dimension-steps), B(k,j) to all i.
+	av := make([]int64, p.N)
+	bv := make([]int64, p.N)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				idx := k*n*n + i*n + j
+				av[idx] = a[i][k]
+				bv[idx] = b[k][j]
+			}
+		}
+	}
+	t := rel + vlsi.Time(2*q)*cubeStep // the two broadcast phases
+
+	// Multiply.
+	prod := make([]int64, p.N)
+	for idx := range prod {
+		if boolean {
+			if av[idx] != 0 && bv[idx] != 0 {
+				prod[idx] = 1
+			}
+		} else {
+			prod[idx] = av[idx] * bv[idx]
+		}
+	}
+	t += vlsi.Time(2 * p.Cfg.WordBits)
+
+	// Reduce along k: q dimension-steps of pairwise combine.
+	for d := 0; d < q; d++ {
+		stride := (1 << d) * n * n
+		for idx := 0; idx < p.N; idx++ {
+			if idx&stride == 0 && idx+stride < p.N {
+				if boolean {
+					if prod[idx] != 0 || prod[idx+stride] != 0 {
+						prod[idx] = 1
+					}
+				} else {
+					prod[idx] += prod[idx+stride]
+				}
+			}
+		}
+		t += cubeStep + cmp
+	}
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		for j := range c[i] {
+			c[i][j] = prod[i*n+j]
+		}
+	}
+	return c, t
+}

@@ -1,0 +1,197 @@
+package psn
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms/matrix"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+func machine(t testing.TB, n int) *Machine {
+	t.Helper()
+	p, err := New(n, vlsi.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, vlsi.DefaultConfig(4)); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := New(8, vlsi.Config{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestRotations(t *testing.T) {
+	p := machine(t, 16) // m = 4
+	if p.rotl(0b0001) != 0b0010 || p.rotl(0b1000) != 0b0001 {
+		t.Error("rotl wrong")
+	}
+	if p.rotrN(0b0010, 1) != 0b0001 || p.rotrN(0b0001, 1) != 0b1000 {
+		t.Error("rotr wrong")
+	}
+	// m rotations are the identity.
+	for x := 0; x < 16; x++ {
+		if p.rotrN(x, 4) != x {
+			t.Errorf("rotr^m(%d) = %d", x, p.rotrN(x, 4))
+		}
+	}
+}
+
+func TestShufflePermutation(t *testing.T) {
+	p := machine(t, 8)
+	vals := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	p.shuffle(vals)
+	// Element i moves to rotl(i): 0→0, 1→2, 2→4, 3→6, 4→1, 5→3, 6→5, 7→7.
+	want := []int64{0, 4, 1, 5, 2, 6, 3, 7}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("after shuffle, PE %d holds %d, want %d", i, vals[i], want[i])
+		}
+	}
+	// m shuffles restore the identity.
+	p.shuffle(vals)
+	p.shuffle(vals)
+	for i := range vals {
+		if vals[i] != int64(i) {
+			t.Fatalf("after m shuffles, PE %d holds %d", i, vals[i])
+		}
+	}
+}
+
+func sortedCopy(xs []int64) []int64 {
+	out := append([]int64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestBitonicSort(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		p := machine(t, n)
+		xs := workload.NewRNG(uint64(n)).Ints(n, 1000)
+		got, done := p.BitonicSort(xs, 0)
+		want := sortedCopy(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("N=%d: PSN bitonic wrong: %v", n, got)
+			}
+		}
+		if done <= 0 {
+			t.Error("sort took no time")
+		}
+	}
+}
+
+func TestBitonicSortQuick(t *testing.T) {
+	p := machine(t, 32)
+	f := func(seed uint64) bool {
+		xs := workload.NewRNG(seed).Ints(32, 100)
+		got, _ := p.BitonicSort(xs, 0)
+		want := sortedCopy(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortTimePolylog: log³ N bit-times under log-delay — polylog,
+// not polynomial.
+func TestSortTimePolylog(t *testing.T) {
+	var logs, times []float64
+	for n := 16; n <= 1024; n *= 4 {
+		p := machine(t, n)
+		xs := workload.NewRNG(uint64(n)).Ints(n, 1<<20)
+		_, done := p.BitonicSort(xs, 0)
+		logs = append(logs, float64(vlsi.Log2Ceil(n)))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(logs, times)
+	if e < 1.5 || e > 4.0 {
+		t.Errorf("PSN sort time grows as log^%.2f N; want ~log³", e)
+	}
+}
+
+// TestConstantDelayFaster: Table IV — under the constant-delay model
+// the PSN's shuffle steps stop paying the long-wire penalty.
+func TestConstantDelayFaster(t *testing.T) {
+	n := 256
+	xs := workload.NewRNG(7).Ints(n, 1000)
+	pLog, _ := New(n, vlsi.Config{WordBits: vlsi.WordBitsFor(n), Model: vlsi.LogDelay{}})
+	pConst, _ := New(n, vlsi.Config{WordBits: vlsi.WordBitsFor(n), Model: vlsi.ConstantDelay{}})
+	_, dLog := pLog.BitonicSort(xs, 0)
+	_, dConst := pConst.BitonicSort(xs, 0)
+	if dConst >= dLog {
+		t.Errorf("constant-delay PSN sort (%d) not faster than log-delay (%d)", dConst, dLog)
+	}
+}
+
+func TestDNSMatMul(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		p := machine(t, n*n*n)
+		rng := workload.NewRNG(uint64(n))
+		a := rng.IntMatrix(n, 20)
+		b := rng.IntMatrix(n, 20)
+		c, done := p.DNSMatMul(a, b, false, 0)
+		want := matrix.RefMatMul(a, b)
+		for i := range want {
+			for j := range want[i] {
+				if c[i][j] != want[i][j] {
+					t.Fatalf("n=%d: C[%d][%d] = %d, want %d", n, i, j, c[i][j], want[i][j])
+				}
+			}
+		}
+		if done <= 0 {
+			t.Error("DNS took no time")
+		}
+	}
+}
+
+func TestDNSBoolean(t *testing.T) {
+	n := 4
+	p := machine(t, n*n*n)
+	rng := workload.NewRNG(11)
+	a := rng.BoolMatrix(n, 0.4)
+	b := rng.BoolMatrix(n, 0.4)
+	c, _ := p.DNSMatMul(a, b, true, 0)
+	want := matrix.RefBoolMatMul(a, b)
+	for i := range want {
+		for j := range want[i] {
+			if c[i][j] != want[i][j] {
+				t.Fatalf("bool C[%d][%d] = %d, want %d", i, j, c[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestDNSArity(t *testing.T) {
+	p := machine(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched DNS size accepted")
+		}
+	}()
+	p.DNSMatMul(make([][]int64, 4), make([][]int64, 4), false, 0)
+}
+
+func TestAreaFormula(t *testing.T) {
+	// Area is Θ(N²/log² N): the ratio area/N² shrinks with N.
+	p1 := machine(t, 64)
+	p2 := machine(t, 4096)
+	r1 := float64(p1.Area()) / float64(64*64)
+	r2 := float64(p2.Area()) / float64(4096*4096)
+	if r2 >= r1 {
+		t.Errorf("PSN area/N² not shrinking: %v then %v", r1, r2)
+	}
+}

@@ -1,0 +1,59 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+func benchTree(b *testing.B, k int) *Tree {
+	b.Helper()
+	w := vlsi.WordBitsFor(k * k)
+	o, err := layout.MeasureOTN(k, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := New(o.RowTree, vlsi.Config{WordBits: w, Model: vlsi.LogDelay{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkBroadcast256(b *testing.B) {
+	tr := benchTree(b, 256)
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		tr.Broadcast(0)
+	}
+}
+
+func BenchmarkReduce256(b *testing.B) {
+	tr := benchTree(b, 256)
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		tr.ReduceUniform(0)
+	}
+}
+
+func BenchmarkExchangePairsCongested(b *testing.B) {
+	tr := benchTree(b, 256)
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		tr.ExchangePairs(128, 0)
+	}
+}
+
+func BenchmarkPipeline32Words(b *testing.B) {
+	tr := benchTree(b, 256)
+	rels := make([]vlsi.Time, 32)
+	w := vlsi.Time(tr.WordBits())
+	for i := range rels {
+		rels[i] = vlsi.Time(i) * w
+	}
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		tr.Pipeline(rels)
+	}
+}

@@ -1,0 +1,275 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+// testTree builds a router over the measured row-tree geometry of a
+// (k×k)-OTN layout.
+func testTree(t *testing.T, k int, model vlsi.DelayModel) *Tree {
+	t.Helper()
+	w := vlsi.WordBitsFor(k * k)
+	o, err := layout.BuildOTN(k, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(o.RowTree, vlsi.Config{WordBits: w, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	o, _ := layout.BuildOTN(4, 8)
+	if _, err := New(o.RowTree, vlsi.Config{WordBits: 0, Model: vlsi.LogDelay{}}); err == nil {
+		t.Error("bad config accepted")
+	}
+	bad := &layout.TreeGeom{K: 3, EdgeLen: make([]int, 6)}
+	if _, err := New(bad, vlsi.Config{WordBits: 8, Model: vlsi.LogDelay{}}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestLeafIndexing(t *testing.T) {
+	tr := testTree(t, 8, vlsi.LogDelay{})
+	if tr.Leaf(0) != 8 || tr.Leaf(7) != 15 {
+		t.Errorf("leaf indices wrong: %d %d", tr.Leaf(0), tr.Leaf(7))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range leaf accepted")
+		}
+	}()
+	tr.Leaf(8)
+}
+
+func TestPathVia(t *testing.T) {
+	// Leaves 8 and 9 under an 8-leaf tree share parent 4.
+	up, down := pathVia(8, 9)
+	if len(up) != 1 || up[0] != 8 || len(down) != 1 || down[0] != 9 {
+		t.Errorf("pathVia(8,9) = %v %v", up, down)
+	}
+	// Root to leaf: pure down leg in root-to-leaf order.
+	up, down = pathVia(1, 10)
+	if len(up) != 0 || len(down) != 3 || down[0] != 2 || down[2] != 10 {
+		t.Errorf("pathVia(1,10) = %v %v", up, down)
+	}
+	// Same node: empty path.
+	up, down = pathVia(5, 5)
+	if len(up)+len(down) != 0 {
+		t.Errorf("pathVia(5,5) = %v %v", up, down)
+	}
+}
+
+func TestRouteBasics(t *testing.T) {
+	tr := testTree(t, 16, vlsi.LogDelay{})
+	w := vlsi.Time(tr.WordBits())
+	// A route takes at least first-bit latency + word time.
+	d := tr.Gather(3, 100)
+	if d < 100+w {
+		t.Errorf("gather completed at %d, before release+word %d", d, 100+w)
+	}
+	// Monotonic in release time (fresh trees to avoid contention).
+	a := testTree(t, 16, vlsi.LogDelay{}).Gather(3, 0)
+	b := testTree(t, 16, vlsi.LogDelay{}).Gather(3, 50)
+	if b != a+50 {
+		t.Errorf("gather not time-invariant: %d vs %d+50", b, a)
+	}
+}
+
+func TestRouteQuickInvariants(t *testing.T) {
+	f := func(srcRaw, dstRaw uint8, relRaw uint16) bool {
+		tr := testTree(t, 16, vlsi.LogDelay{})
+		src := int(srcRaw)%16 + 16 // leaf nodes
+		dst := int(dstRaw)%16 + 16
+		rel := vlsi.Time(relRaw)
+		done := tr.Route(src, dst, rel)
+		return done >= rel+vlsi.Time(tr.WordBits()-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeContentionSerializes(t *testing.T) {
+	tr := testTree(t, 16, vlsi.LogDelay{})
+	w := vlsi.Time(tr.WordBits())
+	first := tr.Gather(5, 0)
+	second := tr.Gather(5, 0) // same leaf, same instant: must queue
+	if second < first+w {
+		t.Errorf("second word (%d) not serialized behind first (%d) + w", second, first)
+	}
+	// Disjoint subtrees do not interfere: leaf 0 and leaf 15 share
+	// only edges near the root.
+	tr.Reset()
+	base := tr.Gather(0, 0)
+	tr.Reset()
+	tr.Gather(15, 0)
+	with := tr.Gather(0, 0)
+	// Contention limited to the two root edges: delay at most 2w.
+	if with > base+2*w {
+		t.Errorf("cross-subtree interference too large: %d vs %d", with, base)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tr := testTree(t, 8, vlsi.LogDelay{})
+	a := tr.Gather(2, 0)
+	tr.Reset()
+	b := tr.Gather(2, 0)
+	if a != b {
+		t.Errorf("Reset did not restore initial state: %d vs %d", a, b)
+	}
+}
+
+// TestBroadcastTimeShape verifies the paper's Section II-B claim that
+// a primitive costs Θ(log² N) under the log-delay model: the measured
+// broadcast time over a K-sweep must grow like log² K (exponent of
+// the measured time vs log K between 1 and 3).
+func TestBroadcastTimeShape(t *testing.T) {
+	var logs, times []float64
+	for k := 8; k <= 512; k *= 2 {
+		tr := testTree(t, k, vlsi.LogDelay{})
+		_, done := tr.Broadcast(0)
+		logs = append(logs, float64(vlsi.Log2Ceil(k)))
+		times = append(times, float64(done))
+	}
+	e := vlsi.GrowthExponent(logs, times)
+	if e < 1.0 || e > 3.0 {
+		t.Errorf("broadcast time grows as log^%.2f K; want roughly log² K", e)
+	}
+	// And under the constant-delay model the same primitive is
+	// Θ(log N): strictly cheaper at large K.
+	trLog := testTree(t, 512, vlsi.LogDelay{})
+	trConst := testTree(t, 512, vlsi.ConstantDelay{})
+	_, dLog := trLog.Broadcast(0)
+	_, dConst := trConst.Broadcast(0)
+	if dConst >= dLog {
+		t.Errorf("constant-delay broadcast (%d) not cheaper than log-delay (%d)", dConst, dLog)
+	}
+}
+
+func TestBroadcastPerLeaf(t *testing.T) {
+	tr := testTree(t, 16, vlsi.LogDelay{})
+	perLeaf, done := tr.Broadcast(7)
+	if len(perLeaf) != 16 {
+		t.Fatalf("per-leaf times: %d", len(perLeaf))
+	}
+	max := vlsi.Time(0)
+	for j, d := range perLeaf {
+		if d <= 7 {
+			t.Errorf("leaf %d completed at %d, not after release", j, d)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max != done {
+		t.Errorf("done %d != max per-leaf %d", done, max)
+	}
+}
+
+func TestReduceBasics(t *testing.T) {
+	tr := testTree(t, 16, vlsi.LogDelay{})
+	done := tr.ReduceUniform(0)
+	if done <= 0 {
+		t.Fatal("reduce completed instantly")
+	}
+	// A straggling leaf delays the result.
+	tr2 := testTree(t, 16, vlsi.LogDelay{})
+	rels := make([]vlsi.Time, 16)
+	rels[9] = 10_000
+	late := tr2.Reduce(rels)
+	if late < 10_000 {
+		t.Errorf("reduce finished at %d before straggler released", late)
+	}
+	// Wrong arity panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("short release vector accepted")
+		}
+	}()
+	tr.Reduce(make([]vlsi.Time, 3))
+}
+
+// TestReduceVsGatherShape: a combining reduction of all K leaves
+// costs about the same as a single gather (the combine rides the bit
+// pipeline), NOT K times as much.
+func TestReduceVsGatherShape(t *testing.T) {
+	for _, k := range []int{16, 64, 256} {
+		red := testTree(t, k, vlsi.LogDelay{}).ReduceUniform(0)
+		gat := testTree(t, k, vlsi.LogDelay{}).Gather(0, 0)
+		if red > 4*gat {
+			t.Errorf("K=%d: reduce %d far above gather %d; combining not pipelined", k, red, gat)
+		}
+	}
+}
+
+// TestExchangeCongestion verifies the Section IV bottleneck: a
+// stride-s COMPEX routes s words through the block apex, so its cost
+// grows linearly with the stride once the stride words dominate the
+// tree latency.
+func TestExchangeCongestion(t *testing.T) {
+	k := 256
+	w := vlsi.Time(vlsi.WordBitsFor(k * k))
+	small := testTree(t, k, vlsi.LogDelay{}).ExchangePairs(1, 0)
+	big := testTree(t, k, vlsi.LogDelay{}).ExchangePairs(k/2, 0)
+	if big <= small {
+		t.Fatalf("stride %d exchange (%d) not costlier than stride 1 (%d)", k/2, big, small)
+	}
+	// The k/2 words through the root must serialize: at least
+	// (k/2)·w bit-times in one direction.
+	if big < vlsi.Time(k/2)*w {
+		t.Errorf("stride k/2 exchange %d below the serialization bound %d", big, vlsi.Time(k/2)*w)
+	}
+	// Stride-1 pairs live in disjoint subtrees: cost stays near a
+	// single short route, far below K·w.
+	if small > vlsi.Time(k)*w/4 {
+		t.Errorf("stride-1 exchange %d shows spurious congestion", small)
+	}
+}
+
+func TestExchangePairsValidation(t *testing.T) {
+	tr := testTree(t, 8, vlsi.LogDelay{})
+	defer func() {
+		if recover() == nil {
+			t.Error("stride = K accepted")
+		}
+	}()
+	tr.ExchangePairs(8, 0)
+}
+
+// TestPipelineThroughput verifies the paper's pipelining claim
+// (Sections III-A, V-B, VIII): m words streamed through a tree at
+// word-interval spacing complete in about T_first + (m−1)·w, far
+// below m·T_first.
+func TestPipelineThroughput(t *testing.T) {
+	k := 256
+	tr := testTree(t, k, vlsi.LogDelay{})
+	w := vlsi.Time(tr.WordBits())
+	m := 32
+	rels := make([]vlsi.Time, m)
+	for i := range rels {
+		rels[i] = vlsi.Time(i) * w
+	}
+	done := tr.Pipeline(rels)
+	tFirst := done[0]
+	tLast := done[m-1]
+	serial := vlsi.Time(m) * tFirst
+	if tLast >= serial/2 {
+		t.Errorf("pipeline (%d) no better than half serial (%d)", tLast, serial)
+	}
+	if tLast < tFirst+vlsi.Time(m-1)*w {
+		t.Errorf("pipeline %d below the injection bound %d", tLast, tFirst+vlsi.Time(m-1)*w)
+	}
+	// Steady-state spacing is close to the injection interval w.
+	gap := done[m-1] - done[m-2]
+	if gap > 3*w {
+		t.Errorf("steady-state spacing %d far above word interval %d", gap, w)
+	}
+}

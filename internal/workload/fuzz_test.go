@@ -1,0 +1,20 @@
+package workload
+
+import "testing"
+
+// FuzzPermIsPermutation: every seed and size yields a permutation.
+func FuzzPermIsPermutation(f *testing.F) {
+	f.Add(uint64(1), uint8(8))
+	f.Add(uint64(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8) {
+		n := int(nRaw%128) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed not remapped; generator stuck")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolMatrixDensity(t *testing.T) {
+	r := NewRNG(9)
+	m := r.BoolMatrix(64, 0.5)
+	ones := 0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 0 && m[i][j] != 1 {
+				t.Fatalf("non-Boolean entry %d", m[i][j])
+			}
+			ones += int(m[i][j])
+		}
+	}
+	// 4096 Bernoulli(0.5) draws: expect ~2048, allow wide slack.
+	if ones < 1500 || ones > 2600 {
+		t.Errorf("density %d/4096 implausible for p=0.5", ones)
+	}
+}
+
+func TestGnpProperties(t *testing.T) {
+	r := NewRNG(11)
+	g := r.Gnp(32, 0.3)
+	for i := 0; i < g.N; i++ {
+		if g.Adj[i][i] {
+			t.Fatalf("self loop at %d", i)
+		}
+		for j := 0; j < g.N; j++ {
+			if g.Adj[i][j] != g.Adj[j][i] {
+				t.Fatalf("asymmetric adjacency at (%d,%d)", i, j)
+			}
+		}
+	}
+	if g.EdgeCount() == 0 {
+		t.Error("G(32,0.3) produced no edges")
+	}
+}
+
+// unionFind is a reference implementation used to count components.
+type unionFind struct{ parent []int }
+
+func newUF(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+func componentCount(g *Graph) int {
+	uf := newUF(g.N)
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if g.Adj[i][j] {
+				uf.union(i, j)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for v := 0; v < g.N; v++ {
+		seen[uf.find(v)] = true
+	}
+	return len(seen)
+}
+
+func TestComponentsGraph(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		g := NewRNG(13).ComponentsGraph(40, k)
+		if got := componentCount(g); got != k {
+			t.Errorf("ComponentsGraph(40,%d) has %d components", k, got)
+		}
+	}
+}
+
+func TestWeightMatrixDistinctSymmetric(t *testing.T) {
+	n := 12
+	w := NewRNG(17).WeightMatrix(n)
+	seen := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		if w[i][i] != 0 {
+			t.Fatalf("diagonal weight %d at %d", w[i][i], i)
+		}
+		for j := i + 1; j < n; j++ {
+			if w[i][j] != w[j][i] {
+				t.Fatalf("asymmetric weight at (%d,%d)", i, j)
+			}
+			if w[i][j] <= 0 {
+				t.Fatalf("non-positive weight at (%d,%d)", i, j)
+			}
+			if seen[w[i][j]] {
+				t.Fatalf("duplicate weight %d", w[i][j])
+			}
+			seen[w[i][j]] = true
+		}
+	}
+}
+
+func TestComplexSignal(t *testing.T) {
+	s := NewRNG(19).ComplexSignal(64)
+	if len(s) != 64 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, v := range s {
+		if real(v) < -1 || real(v) >= 1 || imag(v) < -1 || imag(v) >= 1 {
+			t.Fatalf("sample %v out of range", v)
+		}
+	}
+}
+
+func TestGraphAddEdge(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(1, 1) // ignored self-loop
+	if g.EdgeCount() != 0 {
+		t.Error("self-loop counted")
+	}
+	g.AddEdge(0, 3)
+	if !g.HasEdge(3, 0) || g.EdgeCount() != 1 {
+		t.Error("undirected edge not symmetric")
+	}
+}
+
+func TestGridGraph(t *testing.T) {
+	g := GridGraph(3, 4)
+	if g.N != 12 {
+		t.Fatalf("vertices = %d", g.N)
+	}
+	// 3·3 horizontal + 2·4 vertical = 17 edges.
+	if g.EdgeCount() != 17 {
+		t.Errorf("edges = %d, want 17", g.EdgeCount())
+	}
+	if componentCount(g) != 1 {
+		t.Error("grid not connected")
+	}
+	// Corner degree 2, centre degree 4.
+	deg := func(v int) int {
+		d := 0
+		for u := 0; u < g.N; u++ {
+			if g.Adj[v][u] {
+				d++
+			}
+		}
+		return d
+	}
+	if deg(0) != 2 || deg(5) != 4 {
+		t.Errorf("corner/centre degrees %d/%d", deg(0), deg(5))
+	}
+}
+
+func TestCycleGraph(t *testing.T) {
+	g := CycleGraph(8)
+	if g.EdgeCount() != 8 || componentCount(g) != 1 {
+		t.Errorf("cycle: %d edges, %d components", g.EdgeCount(), componentCount(g))
+	}
+}
+
+func TestBinaryTreeGraph(t *testing.T) {
+	g := BinaryTreeGraph(15)
+	if g.EdgeCount() != 14 || componentCount(g) != 1 {
+		t.Errorf("tree: %d edges, %d components", g.EdgeCount(), componentCount(g))
+	}
+}
