@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector is pointed at the two packages that actually share
+# memory across goroutines: the goroutine-per-node engine and the tree
+# router it cross-validates. (tree takes ~1-2 min under -race; the
+# other packages are single-goroutine simulators.)
+race:
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/...
+
+# Short fuzz pass over the fault-plan determinism property.
+fuzz:
+	$(GO) test -fuzz FuzzPlanDeterminism -fuzztime 10s ./internal/fault
+
+ci: build vet test race

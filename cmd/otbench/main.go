@@ -10,6 +10,7 @@
 //	otbench                  # everything, default sweep sizes
 //	otbench -table 3         # just Table III
 //	otbench -sizes 16,64,256 # override the sweep
+//	otbench -faultsweep      # robustness: slowdown vs injected faults
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	figs := flag.Bool("figs", false, "also run the Figs. 1-3 area sweep (implied by -table 0)")
 	pipeline := flag.Bool("pipeline", false, "also run the §VIII pipelining study (implied by -table 0)")
 	mot3d := flag.Bool("mot3d", false, "also run the §VII-B 3D mesh-of-trees comparison")
+	faultsweep := flag.Bool("faultsweep", false, "also run the fault sweep (implied by -table 0)")
 	format := flag.String("format", "text", "output format: text | markdown")
 	flag.Parse()
 
@@ -70,6 +72,18 @@ func main() {
 	}
 	if all || *mot3d {
 		run("3D mesh of trees", []int{4, 8, 16}, orthotrees.MatMul3DStudy)
+	}
+	if all || *faultsweep {
+		s, err := orthotrees.FaultSweepStudy(32, 4, 1983)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "otbench: fault sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if *format == "markdown" {
+			fmt.Println(s.Markdown())
+		} else {
+			fmt.Println(s.Render())
+		}
 	}
 	if all || *pipeline {
 		latency, steady, err := orthotrees.PipelineStudy(64, 16)

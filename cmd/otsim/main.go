@@ -8,6 +8,7 @@
 //	otsim -alg sort -n 64
 //	otsim -alg sort -n 64 -network otc      # Section VI block emulation
 //	otsim -alg sort -n 64 -network scaled   # Thompson scaling [31]
+//	otsim -alg sort -n 64 -faults 3 -seed 7 # degraded-mode run + health report
 //	otsim -alg cc -n 32 -model const -trace
 //	otsim -alg mst -n 16 -summary           # primitive-mix statistics
 //	otsim -alg matmul -n 8
@@ -33,6 +34,7 @@ func main() {
 	network := flag.String("network", "otn", "otn | otc (OTC = Section VI block emulation)")
 	model := flag.String("model", "log", "wire-delay model: log | const | linear")
 	seed := flag.Uint64("seed", 1983, "workload seed")
+	faults := flag.Int("faults", 0, "inject this many random dead tree edges (seeded by -seed) and print the health report")
 	trace := flag.Bool("trace", false, "print every communication primitive")
 	summary := flag.Bool("summary", false, "print the primitive-mix summary after the run")
 	flag.Parse()
@@ -51,6 +53,7 @@ func main() {
 
 	rng := orthotrees.NewRNG(*seed)
 	var recorder *orthotrees.TraceRecorder
+	var faulted *orthotrees.Machine
 	machine := func(k int) *orthotrees.Machine {
 		cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: dm}
 		var m *orthotrees.Machine
@@ -70,6 +73,13 @@ func main() {
 			err = fmt.Errorf("unknown network %q", *network)
 		}
 		fail(err)
+		if *faults > 0 {
+			if *network != "otn" && *network != "scaled" {
+				fail(fmt.Errorf("-faults names OTN tree sites; use -network otn or scaled"))
+			}
+			fail(m.InjectFaults(orthotrees.RandomFaultPlan(k, *faults, *seed)))
+			faulted = m
+		}
 		switch {
 		case *summary:
 			recorder = &orthotrees.TraceRecorder{}
@@ -187,6 +197,15 @@ func main() {
 		*network, dm.Name(), *n, elapsed, area, metric.AT2())
 	if recorder != nil {
 		fmt.Print(recorder.Summary())
+	}
+	if *faults > 0 {
+		if faulted == nil {
+			fail(fmt.Errorf("-faults is not supported by -alg %s", *alg))
+		}
+		fmt.Print(faulted.HealthReport())
+		if err := faulted.Err(); err != nil {
+			fail(fmt.Errorf("simulation did not recover: %w", err))
+		}
 	}
 }
 

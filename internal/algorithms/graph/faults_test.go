@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func ccMachine(t *testing.T, n int) *core.Machine {
+	t.Helper()
+	m, err := core.NewDefault(n, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestComponentsSingleDeadEdge: connected components stays correct at
+// N=64 with a single dead row-tree edge, across a spread of edge
+// positions (shallow, mid-tree, and leaf edges on several rows).
+func TestComponentsSingleDeadEdge(t *testing.T) {
+	n := 64
+	g := workload.NewRNG(64).ComponentsGraph(n, 6)
+	want := RefComponents(g)
+	for _, site := range [][2]int{
+		{0, 2}, {0, 3}, {5, 7}, {13, 29}, {31, 64}, {47, 100}, {63, 127},
+	} {
+		m := ccMachine(t, n)
+		if err := m.InjectFaults(fault.New(7).KillEdge(true, site[0], site[1])); err != nil {
+			t.Fatal(err)
+		}
+		LoadGraph(m, g)
+		got, done := ConnectedComponents(m, 0)
+		if err := m.Err(); err != nil {
+			t.Fatalf("dead edge row(%d).node(%d): CC failed: %v", site[0], site[1], err)
+		}
+		if !SamePartition(got, want) {
+			t.Fatalf("dead edge row(%d).node(%d): wrong partition", site[0], site[1])
+		}
+		if done <= 0 {
+			t.Fatalf("dead edge row(%d).node(%d): no time charged", site[0], site[1])
+		}
+		if m.Health().Reroutes == 0 {
+			t.Errorf("dead edge row(%d).node(%d): no reroutes recorded", site[0], site[1])
+		}
+	}
+}
+
+// TestComponentsDeadColumnEdge: the column-tree MIN ascent of the
+// hooking step also survives a cut, rerouting through row trees.
+func TestComponentsDeadColumnEdge(t *testing.T) {
+	n := 32
+	g := workload.NewRNG(5).ComponentsGraph(n, 4)
+	want := RefComponents(g)
+	m := ccMachine(t, n)
+	if err := m.InjectFaults(fault.New(3).KillEdge(false, 9, 17)); err != nil {
+		t.Fatal(err)
+	}
+	LoadGraph(m, g)
+	got, _ := ConnectedComponents(m, 0)
+	if m.Err() != nil {
+		t.Fatalf("CC failed: %v", m.Err())
+	}
+	if !SamePartition(got, want) {
+		t.Fatal("wrong partition under dead column edge")
+	}
+}
+
+// TestComponentsSlowdownMeasured: the degraded run is strictly slower
+// and the health ledger accounts for the detours.
+func TestComponentsSlowdownMeasured(t *testing.T) {
+	n := 32
+	g := workload.NewRNG(11).ComponentsGraph(n, 4)
+	mh := ccMachine(t, n)
+	LoadGraph(mh, g)
+	_, healthy := ConnectedComponents(mh, 0)
+
+	mf := ccMachine(t, n)
+	if err := mf.InjectFaults(fault.New(2).KillEdge(true, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	LoadGraph(mf, g)
+	_, degraded := ConnectedComponents(mf, 0)
+	if mf.Err() != nil {
+		t.Fatal(mf.Err())
+	}
+	if degraded <= healthy {
+		t.Errorf("degraded CC (%d) not slower than healthy (%d)", degraded, healthy)
+	}
+	if mf.Health().AddedLatency() <= 0 {
+		t.Error("no added latency recorded")
+	}
+}

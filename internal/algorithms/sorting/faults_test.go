@@ -1,0 +1,124 @@
+package sorting
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// TestSortOTNSingleDeadEdge is the headline robustness acceptance
+// test: with ANY single row-tree edge dead at N=64, SORT-OTN still
+// sorts correctly, via degraded-mode rerouting through the column
+// trees. Every edge position is exercised (the row index varies with
+// the node so several trees are covered too).
+func TestSortOTNSingleDeadEdge(t *testing.T) {
+	k := 64
+	xs := workload.NewRNG(64).Perm(k)
+	want := sortedCopy(xs)
+	for node := 2; node < 2*k; node++ {
+		m := machine(t, k)
+		row := node % k
+		if err := m.InjectFaults(fault.New(7).KillEdge(true, row, node)); err != nil {
+			t.Fatal(err)
+		}
+		got, done := SortOTN(m, xs, 0)
+		if err := m.Err(); err != nil {
+			t.Fatalf("dead edge row(%d).node(%d): sort failed: %v", row, node, err)
+		}
+		if !equal(got, want) {
+			t.Fatalf("dead edge row(%d).node(%d): sorted %v", row, node, got)
+		}
+		if done <= 0 {
+			t.Fatalf("dead edge row(%d).node(%d): no time charged", row, node)
+		}
+	}
+}
+
+// TestSortOTNDeadColumnEdge: symmetry — a dead column-tree edge is
+// healed by rerouting through row trees.
+func TestSortOTNDeadColumnEdge(t *testing.T) {
+	k := 32
+	xs := workload.NewRNG(32).Perm(k)
+	want := sortedCopy(xs)
+	for _, node := range []int{2, 7, 33, 63} {
+		m := machine(t, k)
+		if err := m.InjectFaults(fault.New(7).KillEdge(false, 5, node)); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := SortOTN(m, xs, 0)
+		if m.Err() != nil || !equal(got, want) {
+			t.Fatalf("dead col edge node %d: err=%v got=%v", node, m.Err(), got)
+		}
+	}
+}
+
+// TestSortOTNSlowdownMeasured: degraded sorting must cost strictly
+// more bit-times than healthy sorting — robustness is charged to the
+// A·T² ledger, not free.
+func TestSortOTNSlowdownMeasured(t *testing.T) {
+	k := 64
+	xs := workload.NewRNG(7).Perm(k)
+	mh := machine(t, k)
+	_, healthy := SortOTN(mh, xs, 0)
+	mf := machine(t, k)
+	if err := mf.InjectFaults(fault.New(7).KillEdge(true, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, degraded := SortOTN(mf, xs, 0)
+	if degraded <= healthy {
+		t.Errorf("degraded sort (%d) not slower than healthy (%d)", degraded, healthy)
+	}
+	if mf.Health().Reroutes == 0 {
+		t.Error("no reroutes recorded")
+	}
+	if mf.Health().AddedLatency() <= 0 {
+		t.Error("no added latency recorded")
+	}
+}
+
+// TestSortOTNTransients: under a transient corruption rate the sort
+// stays correct (parity + retry) and the retries are recorded.
+func TestSortOTNTransients(t *testing.T) {
+	k := 32
+	xs := workload.NewRNG(9).Perm(k)
+	want := sortedCopy(xs)
+	m := machine(t, k)
+	if err := m.InjectFaults(fault.New(1983).WithTransients(0.2)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := SortOTN(m, xs, 0)
+	if m.Err() != nil {
+		t.Fatalf("transient sort failed: %v", m.Err())
+	}
+	if !equal(got, want) {
+		t.Fatalf("transient sort wrong: %v", got)
+	}
+	if m.Health().Transients == 0 {
+		t.Error("rate 0.2 produced no transients across a whole sort")
+	}
+	if m.Health().Retries != m.Health().Transients {
+		t.Errorf("retries %d != transients %d (no storm expected here)",
+			m.Health().Retries, m.Health().Transients)
+	}
+}
+
+// TestSortOTNEmptyPlanIdentical: an empty plan is bit-identical to no
+// plan on a full sort — the zero-cost guarantee end to end.
+func TestSortOTNEmptyPlanIdentical(t *testing.T) {
+	k := 32
+	xs := workload.NewRNG(3).Perm(k)
+	ma := machine(t, k)
+	mb := machine(t, k)
+	if err := mb.InjectFaults(fault.New(42)); err != nil {
+		t.Fatal(err)
+	}
+	ga, da := SortOTN(ma, xs, 0)
+	gb, db := SortOTN(mb, xs, 0)
+	if da != db {
+		t.Errorf("empty plan changed sort time: %d vs %d", da, db)
+	}
+	if !equal(ga, gb) {
+		t.Error("empty plan changed sort output")
+	}
+}

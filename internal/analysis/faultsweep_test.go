@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepStudy: the sweep runs both workloads at every fault
+// count, the zero-fault points match the healthy baseline exactly,
+// and recovered faulty points are correct and strictly slower.
+func TestFaultSweepStudy(t *testing.T) {
+	s, err := FaultSweepStudy(16, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 8 { // (0..3 faults) × 2 workloads
+		t.Fatalf("got %d points, want 8", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Faults == 0 {
+			if p.Slowdown != 1.0 || !p.Correct || !p.Recovered {
+				t.Errorf("%s/0 faults: slowdown=%.3f correct=%v recovered=%v",
+					p.Workload, p.Slowdown, p.Correct, p.Recovered)
+			}
+			if p.Reroutes != 0 || p.Added != 0 {
+				t.Errorf("%s/0 faults: nonzero fault accounting %d/%d", p.Workload, p.Reroutes, p.Added)
+			}
+			continue
+		}
+		if p.Recovered {
+			if !p.Correct {
+				t.Errorf("%s/%d faults: recovered but wrong", p.Workload, p.Faults)
+			}
+			if p.Degraded <= p.Healthy {
+				t.Errorf("%s/%d faults: degraded %d not slower than healthy %d",
+					p.Workload, p.Faults, p.Degraded, p.Healthy)
+			}
+			if p.Reroutes == 0 {
+				t.Errorf("%s/%d faults: recovered without reroutes", p.Workload, p.Faults)
+			}
+		}
+	}
+}
+
+// TestFaultSweepDeterminism: the same (n, faults, seed) triple
+// reproduces every measured number.
+func TestFaultSweepDeterminism(t *testing.T) {
+	a, err := FaultSweepStudy(16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweepStudy(16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestFaultSweepRender(t *testing.T) {
+	s, err := FaultSweepStudy(8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render()
+	for _, want := range []string{"fault sweep", "sort", "components", "slowdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	md := s.Markdown()
+	if !strings.Contains(md, "| sort |") && !strings.Contains(md, "| sort | 0") {
+		t.Errorf("Markdown missing sort rows:\n%s", md)
+	}
+}

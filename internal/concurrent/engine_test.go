@@ -1,6 +1,8 @@
 package concurrent
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/layout"
@@ -43,7 +45,10 @@ func TestBroadcastMatchesRouter(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		vals, times := eng.Broadcast(42, 17)
+		vals, times, err := eng.Broadcast(context.Background(), 42, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want, _ := rtr.Broadcast(17)
 		for j := 0; j < k; j++ {
 			if vals[j] != 42 {
@@ -69,7 +74,10 @@ func TestReduceMatchesRouter(t *testing.T) {
 		for j := range rels {
 			rels[j] = vlsi.Time(j % 5)
 		}
-		gotVal, gotT := eng.Reduce(vals, rels, Sum)
+		gotVal, gotT, err := eng.Reduce(context.Background(), vals, rels, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wantT := rtr.Reduce(rels)
 		var wantVal int64
 		for _, v := range vals {
@@ -94,45 +102,67 @@ func TestReduceMin(t *testing.T) {
 			min = v
 		}
 	}
-	got, _ := eng.Reduce(vals, make([]vlsi.Time, 16), Min)
+	got, _, err := eng.Reduce(context.Background(), vals, make([]vlsi.Time, 16), Min)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != min {
 		t.Errorf("min = %d, want %d", got, min)
 	}
 }
 
-func TestReduceArityPanics(t *testing.T) {
+func TestReduceArityError(t *testing.T) {
 	g, cfg := geom(t, 8)
 	eng, _ := New(g, cfg)
-	defer func() {
-		if recover() == nil {
-			t.Error("arity mismatch accepted")
-		}
-	}()
-	eng.Reduce(make([]int64, 3), make([]vlsi.Time, 3), Sum)
+	_, _, err := eng.Reduce(context.Background(), make([]int64, 3), make([]vlsi.Time, 3), Sum)
+	var ae *ArityError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *ArityError, got %v", err)
+	}
+	if ae.Got != 3 || ae.Want != 8 {
+		t.Errorf("ArityError = %+v", ae)
+	}
 }
 
 func TestCombineApply(t *testing.T) {
-	if Sum.apply(3, 4) != 7 {
-		t.Error("sum wrong")
+	if v, err := Sum.Apply(3, 4); err != nil || v != 7 {
+		t.Errorf("sum = %d, %v", v, err)
 	}
-	if Min.apply(3, 4) != 3 || Min.apply(9, 2) != 2 {
+	if v, _ := Min.Apply(3, 4); v != 3 {
 		t.Error("min wrong")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown combine accepted")
-		}
-	}()
-	Combine(99).apply(1, 2)
+	if v, _ := Min.Apply(9, 2); v != 2 {
+		t.Error("min wrong")
+	}
+	_, err := Combine(99).Apply(1, 2)
+	var ce *CombineError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CombineError, got %v", err)
+	}
+	if _, _, err := mustEngine(t, 4).Reduce(context.Background(), make([]int64, 4), make([]vlsi.Time, 4), Combine(99)); !errors.As(err, &ce) {
+		t.Errorf("Reduce with unknown combine: want *CombineError, got %v", err)
+	}
+}
+
+func mustEngine(t *testing.T, k int) *Engine {
+	t.Helper()
+	g, cfg := geom(t, k)
+	eng, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
 }
 
 // TestBroadcastStress runs many concurrent broadcasts to shake out
 // data races under `go test -race`.
 func TestBroadcastStress(t *testing.T) {
-	g, cfg := geom(t, 32)
-	eng, _ := New(g, cfg)
+	eng := mustEngine(t, 32)
 	for i := 0; i < 20; i++ {
-		vals, _ := eng.Broadcast(int64(i), vlsi.Time(i))
+		vals, _, err := eng.Broadcast(context.Background(), int64(i), vlsi.Time(i))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for j, v := range vals {
 			if v != int64(i) {
 				t.Fatalf("iteration %d: leaf %d got %d", i, j, v)
@@ -167,7 +197,10 @@ func TestPipelineBroadcastMatchesRouter(t *testing.T) {
 			for i := range vals {
 				vals[i] = int64(100 + i)
 			}
-			leafVals, done := eng.PipelineBroadcast(vals, rels)
+			leafVals, done, err := eng.PipelineBroadcast(context.Background(), vals, rels)
+			if err != nil {
+				t.Fatal(err)
+			}
 			want := rtr.Pipeline(rels)
 			for i := range rels {
 				if done[i] != want[i] {
@@ -196,7 +229,10 @@ func TestPipelineBroadcastBackPressure(t *testing.T) {
 	m := 8
 	rels := make([]vlsi.Time, m)
 	vals := make([]int64, m)
-	_, done := eng.PipelineBroadcast(vals, rels)
+	_, done, err := eng.PipelineBroadcast(context.Background(), vals, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := vlsi.Time(cfg.WordBits)
 	for i := 1; i < m; i++ {
 		if done[i] < done[i-1]+w {
@@ -206,14 +242,12 @@ func TestPipelineBroadcastBackPressure(t *testing.T) {
 }
 
 func TestPipelineBroadcastArity(t *testing.T) {
-	g, cfg := geom(t, 4)
-	eng, _ := New(g, cfg)
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched lengths accepted")
-		}
-	}()
-	eng.PipelineBroadcast(make([]int64, 2), make([]vlsi.Time, 3))
+	eng := mustEngine(t, 4)
+	_, _, err := eng.PipelineBroadcast(context.Background(), make([]int64, 2), make([]vlsi.Time, 3))
+	var ae *ArityError
+	if !errors.As(err, &ae) {
+		t.Errorf("mismatched lengths: want *ArityError, got %v", err)
+	}
 }
 
 // TestPipelineReduceMatchesRouter: streamed combining ascents must
@@ -246,7 +280,10 @@ func TestPipelineReduceMatchesRouter(t *testing.T) {
 					wantSums[i] += v
 				}
 			}
-			sums, done := eng.PipelineReduce(vals, rels, Sum)
+			sums, done, err := eng.PipelineReduce(context.Background(), vals, rels, Sum)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := range rels {
 				want := rtr.ReduceUniform(rels[i])
 				if done[i] != want {
@@ -262,22 +299,12 @@ func TestPipelineReduceMatchesRouter(t *testing.T) {
 }
 
 func TestPipelineReduceArity(t *testing.T) {
-	g, cfg := geom(t, 4)
-	eng, _ := New(g, cfg)
-	mustPanicConc(t, "length mismatch", func() {
-		eng.PipelineReduce(make([][]int64, 2), make([]vlsi.Time, 3), Sum)
-	})
-	mustPanicConc(t, "ragged value set", func() {
-		eng.PipelineReduce([][]int64{make([]int64, 3)}, make([]vlsi.Time, 1), Sum)
-	})
-}
-
-func mustPanicConc(t *testing.T, what string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s did not panic", what)
-		}
-	}()
-	f()
+	eng := mustEngine(t, 4)
+	var ae *ArityError
+	if _, _, err := eng.PipelineReduce(context.Background(), make([][]int64, 2), make([]vlsi.Time, 3), Sum); !errors.As(err, &ae) {
+		t.Errorf("length mismatch: want *ArityError, got %v", err)
+	}
+	if _, _, err := eng.PipelineReduce(context.Background(), [][]int64{make([]int64, 3)}, make([]vlsi.Time, 1), Sum); !errors.As(err, &ae) {
+		t.Errorf("ragged value set: want *ArityError, got %v", err)
+	}
 }

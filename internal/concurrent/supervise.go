@@ -1,0 +1,138 @@
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the supervision layer of the goroutine engine: typed
+// errors for entry-point misuse, and the harness that runs one
+// operation's goroutine graph under context cancellation and the
+// wall-clock watchdog. The point of the layer is that NO failure mode
+// of the simulated network — including unannounced (blind) faults
+// that drop words and wedge whole subtrees — can hang the caller or
+// leak a goroutine: a wedge is converted into a *WedgedError and
+// every node goroutine is reclaimed through the quit channel.
+
+// ErrWatchdog is the cause recorded in a WedgedError when the
+// engine's wall-clock watchdog expired before the simulation drained.
+var ErrWatchdog = errors.New("concurrent: watchdog timeout")
+
+// ArityError reports a length mismatch on an engine entry point.
+type ArityError struct {
+	Op        string
+	Got, Want int
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("concurrent: %s: got %d values, want %d", e.Op, e.Got, e.Want)
+}
+
+// CombineError reports an unknown combining operation.
+type CombineError struct{ Op Combine }
+
+func (e *CombineError) Error() string {
+	return fmt.Sprintf("concurrent: unknown combine %d", int(e.Op))
+}
+
+// FaultModeError reports an operation that does not support the
+// attached announced fault view (the pipelined streams — core
+// serializes over live leaves instead of pipelining on a cut tree).
+type FaultModeError struct{ Op string }
+
+func (e *FaultModeError) Error() string {
+	return fmt.Sprintf("concurrent: %s does not run on an announced-faulty tree", e.Op)
+}
+
+// WedgedError reports a simulation that stopped making progress: node
+// goroutines were still blocked on tree edges when the context was
+// cancelled or the watchdog expired. Pending counts the goroutines
+// that were reclaimed while blocked; Cause is the context error or
+// ErrWatchdog.
+type WedgedError struct {
+	Op      string
+	Pending int
+	Cause   error
+}
+
+func (e *WedgedError) Error() string {
+	return fmt.Sprintf("concurrent: %s wedged with %d node(s) blocked: %v", e.Op, e.Pending, e.Cause)
+}
+
+func (e *WedgedError) Unwrap() error { return e.Cause }
+
+// harness tracks one operation's goroutine graph. Node goroutines
+// must do every channel receive through recv, which doubles as the
+// cancellation point: when the supervisor closes quit, every blocked
+// receive aborts and the goroutine unwinds.
+type harness struct {
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	wedged atomic.Int32
+}
+
+// spawn registers and starts one node goroutine.
+func (h *harness) spawn(f func()) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		f()
+	}()
+}
+
+// recv blocks for a word on edge channel c until the supervisor gives
+// up. The false return means the operation was cancelled while this
+// node was still waiting — the node was wedged.
+func (h *harness) recv(c <-chan msg) (msg, bool) {
+	select {
+	case in := <-c:
+		return in, true
+	case <-h.quit:
+		h.wedged.Add(1)
+		return msg{}, false
+	}
+}
+
+// supervise runs one operation's goroutine graph (built by spawn) and
+// waits for it to drain. A context cancellation or watchdog expiry
+// while nodes are still blocked reclaims them all and returns a
+// *WedgedError; if every node had in fact finished, the operation
+// completed and supervise returns nil. All edge channels are buffered
+// for the full message count, so senders never block — reclaiming the
+// receivers is sufficient to unwind the whole graph.
+func (e *Engine) supervise(ctx context.Context, op string, build func(h *harness)) error {
+	h := &harness{quit: make(chan struct{})}
+	build(h)
+	drained := make(chan struct{})
+	go func() {
+		h.wg.Wait()
+		close(drained)
+	}()
+	var expired <-chan time.Time
+	if e.watchdog > 0 {
+		tm := time.NewTimer(e.watchdog)
+		defer tm.Stop()
+		expired = tm.C
+	}
+	var cause error
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		cause = ctx.Err()
+	case <-expired:
+		cause = ErrWatchdog
+	}
+	close(h.quit)
+	<-drained
+	if n := int(h.wedged.Load()); n > 0 {
+		return &WedgedError{Op: op, Pending: n, Cause: cause}
+	}
+	// The graph finished in the same instant the supervisor gave up:
+	// nothing was wedged, so the result is complete and valid.
+	return nil
+}

@@ -1,0 +1,237 @@
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+)
+
+// view projects a plan onto row tree `idx` of a k×k machine.
+func view(t *testing.T, p *fault.Plan, k, idx int) *fault.TreeFaults {
+	t.Helper()
+	f := p.ForTree(true, idx, k, nil)
+	if f == nil {
+		t.Fatal("plan projected to a healthy view")
+	}
+	return f
+}
+
+// checkGoroutines fails the test if the goroutine count has not
+// returned to (near) the baseline — i.e. the engine leaked node
+// goroutines. A short settle loop absorbs scheduler lag.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFaultCrossValidation is the router/engine agreement check for
+// fault outcomes: under the same announced fault view, the goroutine
+// engine and the deterministic router must report identical per-leaf
+// broadcast times (Unreached included), identical reduce completion
+// times, and the engine's reduce value must be the live-leaf sum.
+func TestFaultCrossValidation(t *testing.T) {
+	k := 16
+	plans := map[string]*fault.Plan{
+		"dead-edge":      fault.New(1).KillEdge(true, 0, 5),
+		"dead-leaf-edge": fault.New(1).KillEdge(true, 0, k+3),
+		"dead-ip":        fault.New(1).KillIP(true, 0, 6),
+		"two-cuts":       fault.New(1).KillEdge(true, 0, 4).KillEdge(true, 0, 2*k-1),
+	}
+	for name, p := range plans {
+		f := view(t, p, k, 0)
+		g, cfg := geom(t, k)
+		eng, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetFaults(f)
+
+		// Broadcast: fresh router, same view.
+		rtr, err := tree.New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtr.SetFaults(f)
+		vals, times, err := eng.Broadcast(context.Background(), 7, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantTimes, _ := rtr.Broadcast(3)
+		for j := 0; j < k; j++ {
+			if times[j] != wantTimes[j] {
+				t.Errorf("%s: leaf %d broadcast time %d (engine) vs %d (router)",
+					name, j, times[j], wantTimes[j])
+			}
+			if times[j] != tree.Unreached && vals[j] != 7 {
+				t.Errorf("%s: live leaf %d received %d", name, j, vals[j])
+			}
+		}
+
+		// Reduce: fresh trees again so claims start equal.
+		eng2, _ := New(g, cfg)
+		eng2.SetFaults(f)
+		rtr2, _ := tree.New(g, cfg)
+		rtr2.SetFaults(f)
+		rvals := make([]int64, k)
+		rels := make([]vlsi.Time, k)
+		var wantSum int64
+		for j := 0; j < k; j++ {
+			rvals[j] = int64(j + 1)
+			rels[j] = vlsi.Time(j % 3)
+		}
+		cut := map[int]bool{}
+		for _, j := range rtr2.CutLeaves() {
+			cut[j] = true
+		}
+		for j := 0; j < k; j++ {
+			if !cut[j] {
+				wantSum += rvals[j]
+			}
+		}
+		gotSum, gotT, err := eng2.Reduce(context.Background(), rvals, rels, Sum)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantT := rtr2.Reduce(rels)
+		if gotT != wantT {
+			t.Errorf("%s: reduce time %d (engine) vs %d (router)", name, gotT, wantT)
+		}
+		if gotSum != wantSum {
+			t.Errorf("%s: live-leaf sum %d, want %d", name, gotSum, wantSum)
+		}
+	}
+}
+
+// TestFaultCrossValidationRootDead: announced root IP death is total —
+// both sides report nothing reached.
+func TestFaultCrossValidationRootDead(t *testing.T) {
+	k := 8
+	f := view(t, fault.New(1).KillIP(true, 0, 1), k, 0)
+	g, cfg := geom(t, k)
+	eng, _ := New(g, cfg)
+	eng.SetFaults(f)
+	rtr, _ := tree.New(g, cfg)
+	rtr.SetFaults(f)
+	_, times, err := eng.Broadcast(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes, wantDone := rtr.Broadcast(0)
+	if wantDone != tree.Unreached {
+		t.Fatal("router reached leaves through a dead root")
+	}
+	for j := 0; j < k; j++ {
+		if times[j] != tree.Unreached || wantTimes[j] != tree.Unreached {
+			t.Fatalf("leaf %d reached through a dead root", j)
+		}
+	}
+	if _, d, err := eng.Reduce(context.Background(), make([]int64, k), make([]vlsi.Time, k), Sum); err != nil || d != tree.Unreached {
+		t.Errorf("reduce through dead root: d=%d err=%v", d, err)
+	}
+}
+
+// TestBlindFaultWatchdog: an unannounced dead edge drops words, the
+// downstream subtree wedges, and the watchdog converts the wedge into
+// a *WedgedError without leaking a single goroutine.
+func TestBlindFaultWatchdog(t *testing.T) {
+	k := 8
+	baseline := runtime.NumGoroutine()
+	eng := mustEngine(t, k)
+	eng.SetBlindFaults(view(t, fault.New(1).KillEdge(true, 0, 4), k, 0))
+	eng.SetWatchdog(100 * time.Millisecond)
+	_, _, err := eng.Broadcast(context.Background(), 5, 0)
+	var we *WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WedgedError, got %v", err)
+	}
+	if !errors.Is(err, ErrWatchdog) {
+		t.Errorf("cause = %v, want ErrWatchdog", we.Cause)
+	}
+	if we.Pending == 0 {
+		t.Error("no blocked nodes counted")
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestBlindFaultCancellation: the same wedge is reclaimed by context
+// cancellation when no watchdog is armed.
+func TestBlindFaultCancellation(t *testing.T) {
+	k := 8
+	baseline := runtime.NumGoroutine()
+	eng := mustEngine(t, k)
+	eng.SetBlindFaults(view(t, fault.New(1).KillIP(true, 0, 2), k, 0))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, _, err := eng.Broadcast(ctx, 5, 0)
+	var we *WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WedgedError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want context.DeadlineExceeded", we.Cause)
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestPipelineBlindWedge: the pipelined streams are supervised too.
+func TestPipelineBlindWedge(t *testing.T) {
+	k := 8
+	baseline := runtime.NumGoroutine()
+	eng := mustEngine(t, k)
+	eng.SetBlindFaults(view(t, fault.New(1).KillEdge(true, 0, 2), k, 0))
+	eng.SetWatchdog(100 * time.Millisecond)
+	_, _, err := eng.PipelineReduce(context.Background(),
+		[][]int64{make([]int64, k), make([]int64, k)}, make([]vlsi.Time, 2), Sum)
+	var we *WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WedgedError, got %v", err)
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestPipelineRejectsAnnouncedFaults: the pipelined streams have no
+// degraded mode (core serializes over live leaves instead); an
+// announced view is a typed misuse error, not silent wrong timing.
+func TestPipelineRejectsAnnouncedFaults(t *testing.T) {
+	k := 8
+	eng := mustEngine(t, k)
+	eng.SetFaults(view(t, fault.New(1).KillEdge(true, 0, 4), k, 0))
+	var fe *FaultModeError
+	if _, _, err := eng.PipelineBroadcast(context.Background(), make([]int64, 2), make([]vlsi.Time, 2)); !errors.As(err, &fe) {
+		t.Errorf("PipelineBroadcast: want *FaultModeError, got %v", err)
+	}
+	if _, _, err := eng.PipelineReduce(context.Background(), [][]int64{make([]int64, k)}, make([]vlsi.Time, 1), Sum); !errors.As(err, &fe) {
+		t.Errorf("PipelineReduce: want *FaultModeError, got %v", err)
+	}
+}
+
+// TestWatchdogHealthyOp: a generous watchdog never fires on a healthy
+// operation.
+func TestWatchdogHealthyOp(t *testing.T) {
+	eng := mustEngine(t, 16)
+	eng.SetWatchdog(10 * time.Second)
+	vals, _, err := eng.Broadcast(context.Background(), 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range vals {
+		if v != 9 {
+			t.Fatalf("leaf %d got %d", j, v)
+		}
+	}
+}

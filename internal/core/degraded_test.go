@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/vlsi"
+)
+
+// TestEmptyPlanNoOp: injecting an empty plan changes nothing — not
+// the fault flag, not the health ledger, not a single bit-time.
+func TestEmptyPlanNoOp(t *testing.T) {
+	a := testMachine(t, 8)
+	b := testMachine(t, 8)
+	if err := b.InjectFaults(fault.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Faulty() || b.Health() != nil {
+		t.Fatal("empty plan turned the fault machinery on")
+	}
+	a.SetRowRoot(0, 5)
+	b.SetRowRoot(0, 5)
+	ops := func(m *Machine) []vlsi.Time {
+		return []vlsi.Time{
+			m.RootToLeaf(Row(0), nil, RegA, 0),
+			m.SumLeafToRoot(Row(0), nil, RegA, 10),
+			m.CompareExchange(Row(0), 2, RegA, nil, 20),
+			m.LeafToLeaf(Col(3), One(1), RegA, nil, RegB, 30),
+		}
+	}
+	ta, tb := ops(a), ops(b)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("op %d: %d (no plan) vs %d (empty plan) — fault layer not zero-cost", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestInjectFaultsValidates(t *testing.T) {
+	m := testMachine(t, 8)
+	if err := m.InjectFaults(fault.New(1).KillEdge(true, 99, 2)); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+	var pe *fault.PlanError
+	err := m.InjectFaults(fault.New(1).KillEdge(true, 0, 1))
+	if !errors.As(err, &pe) {
+		t.Errorf("want *fault.PlanError, got %v", err)
+	}
+}
+
+// faultyMachine builds a K×K machine with the edge above node `node`
+// of row tree `row` dead.
+func faultyMachine(t *testing.T, k, row, node int) *Machine {
+	t.Helper()
+	m := testMachine(t, k)
+	if err := m.InjectFaults(fault.New(1).KillEdge(true, row, node)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRootToLeafDegraded: a broadcast on a cut row still delivers the
+// word to every BP, via orthogonal-tree reroutes, later than healthy.
+func TestRootToLeafDegraded(t *testing.T) {
+	m := faultyMachine(t, 8, 2, 5) // cuts leaves 2,3 of row 2
+	m.SetRowRoot(2, 42)
+	done := m.RootToLeaf(Row(2), nil, RegA, 0)
+	if m.Err() != nil {
+		t.Fatalf("degraded broadcast failed: %v", m.Err())
+	}
+	for j := 0; j < 8; j++ {
+		if m.Get(RegA, 2, j) != 42 {
+			t.Errorf("BP(2,%d).A = %d, want 42", j, m.Get(RegA, 2, j))
+		}
+	}
+	healthy := testMachine(t, 8)
+	healthy.SetRowRoot(2, 42)
+	hd := healthy.RootToLeaf(Row(2), nil, RegA, 0)
+	if done <= hd {
+		t.Errorf("degraded broadcast (%d) not slower than healthy (%d)", done, hd)
+	}
+	if m.Health().Reroutes != 2 {
+		t.Errorf("reroutes = %d, want 2 (one per cut leaf)", m.Health().Reroutes)
+	}
+	if m.Health().RerouteLatency <= 0 {
+		t.Error("reroute latency not charged")
+	}
+}
+
+// TestLeafToRootDegraded: gathering from a cut leaf reroutes the word
+// to a live leaf first.
+func TestLeafToRootDegraded(t *testing.T) {
+	m := faultyMachine(t, 8, 0, 5)
+	m.Set(RegB, 0, 3, 1234) // leaf 3 is cut
+	done := m.LeafToRoot(Row(0), One(3), RegB, 0)
+	if m.Err() != nil {
+		t.Fatalf("degraded gather failed: %v", m.Err())
+	}
+	if m.RowRoot(0) != 1234 {
+		t.Errorf("root = %d, want 1234", m.RowRoot(0))
+	}
+	if m.Health().Reroutes != 1 {
+		t.Errorf("reroutes = %d, want 1", m.Health().Reroutes)
+	}
+	healthy := testMachine(t, 8)
+	healthy.Set(RegB, 0, 3, 1234)
+	if hd := healthy.LeafToRoot(Row(0), One(3), RegB, 0); done <= hd {
+		t.Errorf("degraded gather (%d) not slower than healthy (%d)", done, hd)
+	}
+}
+
+// TestReductionsDegraded: COUNT/SUM/MIN stay correct on a cut row and
+// reroute only contributing words.
+func TestReductionsDegraded(t *testing.T) {
+	m := faultyMachine(t, 8, 1, 4) // cuts leaves 0,1 of row 1
+	for j := 0; j < 8; j++ {
+		m.Set(RegA, 1, j, int64(j+1))
+		if j%2 == 0 {
+			m.Set(RegFlag, 1, j, 1)
+		}
+	}
+	m.SumLeafToRoot(Row(1), nil, RegA, 0)
+	if m.RowRoot(1) != 36 {
+		t.Errorf("sum = %d, want 36", m.RowRoot(1))
+	}
+	m.CountLeafToRoot(Row(1), RegFlag, 0)
+	if m.RowRoot(1) != 4 {
+		t.Errorf("count = %d, want 4", m.RowRoot(1))
+	}
+	m.MinLeafToRoot(Row(1), nil, RegA, 0)
+	if m.RowRoot(1) != 1 {
+		t.Errorf("min = %d, want 1", m.RowRoot(1))
+	}
+	if m.Err() != nil {
+		t.Fatalf("degraded reductions failed: %v", m.Err())
+	}
+	if m.Health().Reroutes == 0 {
+		t.Error("no reroutes recorded for cut contributions")
+	}
+}
+
+// TestMinSkipsNullReroutes: Null words are the MIN identity and must
+// not be rerouted from cut leaves.
+func TestMinSkipsNullReroutes(t *testing.T) {
+	m := faultyMachine(t, 8, 1, 4) // cuts leaves 0,1
+	for j := 0; j < 8; j++ {
+		m.Set(RegA, 1, j, Null)
+	}
+	m.Set(RegA, 1, 5, 9) // only a live leaf holds a real word
+	m.MinLeafToRoot(Row(1), nil, RegA, 0)
+	if m.RowRoot(1) != 9 {
+		t.Errorf("min = %d, want 9", m.RowRoot(1))
+	}
+	if r := m.Health().Reroutes; r != 0 {
+		t.Errorf("%d reroutes for identity words", r)
+	}
+}
+
+// TestCompareExchangeDegraded: COMPEX across a cut still orders every
+// pair.
+func TestCompareExchangeDegraded(t *testing.T) {
+	m := faultyMachine(t, 8, 0, 4) // cuts leaves 0,1
+	vals := []int64{5, 1, 7, 3, 2, 8, 6, 4}
+	for j, v := range vals {
+		m.Set(RegA, 0, j, v)
+	}
+	m.CompareExchange(Row(0), 2, RegA, nil, 0)
+	if m.Err() != nil {
+		t.Fatalf("degraded COMPEX failed: %v", m.Err())
+	}
+	for j := 0; j < 8; j++ {
+		if j&2 != 0 {
+			continue
+		}
+		if m.Get(RegA, 0, j) > m.Get(RegA, 0, j+2) {
+			t.Errorf("pair (%d,%d) not ascending", j, j+2)
+		}
+	}
+	if m.Health().Reroutes == 0 {
+		t.Error("cut pairs did not reroute")
+	}
+}
+
+// TestPermuteVectorDegraded: a full reversal across a cut row still
+// lands every word.
+func TestPermuteVectorDegraded(t *testing.T) {
+	m := faultyMachine(t, 8, 0, 5)
+	perm := make([]int, 8)
+	for j := range perm {
+		perm[j] = 7 - j
+		m.Set(RegA, 0, j, int64(10+j))
+	}
+	m.PermuteVector(Row(0), perm, RegA, RegB, 0)
+	if m.Err() != nil {
+		t.Fatalf("degraded permute failed: %v", m.Err())
+	}
+	for j := 0; j < 8; j++ {
+		if m.Get(RegB, 0, 7-j) != int64(10+j) {
+			t.Errorf("B(0,%d) = %d, want %d", 7-j, m.Get(RegB, 0, 7-j), 10+j)
+		}
+	}
+}
+
+// TestColumnTreeFaults: the degraded machinery is symmetric — a cut
+// column tree reroutes through row trees.
+func TestColumnTreeFaults(t *testing.T) {
+	m := testMachine(t, 8)
+	if err := m.InjectFaults(fault.New(1).KillEdge(false, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		m.Set(RegA, i, 3, int64(i*i))
+	}
+	m.SumLeafToRoot(Col(3), nil, RegA, 0)
+	if m.Err() != nil {
+		t.Fatalf("degraded column sum failed: %v", m.Err())
+	}
+	if m.ColRoot(3) != 140 {
+		t.Errorf("column sum = %d, want 140", m.ColRoot(3))
+	}
+}
+
+// TestStuckBP: writes to a stuck BP are dropped; everything else
+// keeps working.
+func TestStuckBP(t *testing.T) {
+	m := testMachine(t, 8)
+	m.Set(RegA, 4, 4, 7)
+	if err := m.InjectFaults(fault.New(1).StickBP(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	m.Set(RegA, 4, 4, 99)
+	if m.Get(RegA, 4, 4) != 7 {
+		t.Errorf("stuck BP accepted a write: %d", m.Get(RegA, 4, 4))
+	}
+	m.SetRowRoot(4, 55)
+	m.RootToLeaf(Row(4), nil, RegB, 0)
+	if m.Get(RegB, 4, 4) != 0 {
+		t.Error("broadcast wrote into a stuck BP")
+	}
+	if m.Get(RegB, 4, 5) != 55 {
+		t.Error("broadcast missed a healthy BP")
+	}
+}
+
+// TestRootIPDeadUnrecoverable: killing a row tree's root IP makes
+// LEAFTOROOT on that row fail with a typed error — the port is gone
+// and no orthogonal tree reaches it.
+func TestRootIPDeadUnrecoverable(t *testing.T) {
+	m := testMachine(t, 8)
+	if err := m.InjectFaults(fault.New(1).KillIP(true, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	m.Set(RegA, 2, 0, 5)
+	if d := m.LeafToRoot(Row(2), One(0), RegA, 9); d != 9 {
+		t.Error("failed gather advanced time")
+	}
+	var ue *fault.UnreachableError
+	if !errors.As(m.Err(), &ue) {
+		t.Errorf("want *fault.UnreachableError, got %v", m.Err())
+	}
+	if m.Health().Failures() == 0 {
+		t.Error("failure not in health ledger")
+	}
+	// Other rows are untouched.
+	m.ClearErr()
+	m.Set(RegA, 3, 0, 6)
+	m.LeafToRoot(Row(3), One(0), RegA, 0)
+	if m.Err() != nil || m.RowRoot(3) != 6 {
+		t.Errorf("healthy row broken: err=%v root=%d", m.Err(), m.RowRoot(3))
+	}
+}
+
+// TestRerouteDeterminism: the same faulty program runs to the same
+// times and health counters every time.
+func TestRerouteDeterminism(t *testing.T) {
+	run := func() (vlsi.Time, int, vlsi.Time) {
+		m := faultyMachine(t, 16, 3, 9)
+		for j := 0; j < 16; j++ {
+			m.Set(RegA, 3, j, int64(j))
+		}
+		d := m.SumLeafToRoot(Row(3), nil, RegA, 0)
+		d = m.RootToLeaf(Row(3), nil, RegB, d)
+		if m.Err() != nil {
+			t.Fatal(m.Err())
+		}
+		return d, m.Health().Reroutes, m.Health().RerouteLatency
+	}
+	d1, r1, l1 := run()
+	d2, r2, l2 := run()
+	if d1 != d2 {
+		t.Errorf("times differ: %d vs %d", d1, d2)
+	}
+	if r1 != r2 || l1 != l2 {
+		t.Errorf("health differs: %d/%d vs %d/%d", r1, l1, r2, l2)
+	}
+}

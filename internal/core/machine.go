@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/tree"
 	"repro/internal/vlsi"
@@ -133,8 +134,19 @@ type Router interface {
 	// Route moves one word between two nodes (heap indices; use
 	// Leaf to name leaves).
 	Route(src, dst int, rel vlsi.Time) vlsi.Time
+	// RouteChecked is Route with validated arguments and fault
+	// awareness: misuse and paths across dead hardware return typed
+	// errors without claiming any edge.
+	RouteChecked(src, dst int, rel vlsi.Time) (vlsi.Time, error)
 	// Leaf translates a leaf position to a node index.
 	Leaf(j int) int
+	// ApplyFaults projects a fault plan onto the router's tree,
+	// identified as row/column index of the machine. A nil or empty
+	// plan detaches nothing — routers start healthy.
+	ApplyFaults(p *fault.Plan, row bool, index int, h *fault.Health)
+	// CutLeaves lists the leaf positions currently cut off from the
+	// root by dead hardware, ascending; nil when healthy.
+	CutLeaves() []int
 	// Reset clears all occupancy state.
 	Reset()
 }
@@ -155,6 +167,13 @@ type Machine struct {
 	regs       map[Reg][][]int64
 	rowRoot    []int64
 	colRoot    []int64
+
+	// Sticky error and fault state (see errors.go, degraded.go).
+	err    error
+	faulty bool
+	plan   *fault.Plan
+	health *fault.Health
+	stuck  map[[2]int]bool
 
 	// Tracer, when non-nil, receives one event per primitive.
 	Tracer func(op string, vec Vector, start, end vlsi.Time)
@@ -284,8 +303,14 @@ func (m *Machine) bank(r Reg) [][]int64 {
 // Get reads register r of BP(i, j).
 func (m *Machine) Get(r Reg, i, j int) int64 { return m.bank(r)[i][j] }
 
-// Set writes register r of BP(i, j).
-func (m *Machine) Set(r Reg, i, j int, v int64) { m.bank(r)[i][j] = v }
+// Set writes register r of BP(i, j). A stuck BP's register file is
+// frozen: writes to it are dropped.
+func (m *Machine) Set(r Reg, i, j int, v int64) {
+	if m.stuck != nil && m.stuck[[2]int{i, j}] {
+		return
+	}
+	m.bank(r)[i][j] = v
+}
 
 // at reads register r at position k of a vector.
 func (m *Machine) at(r Reg, vec Vector, k int) int64 {
@@ -295,13 +320,17 @@ func (m *Machine) at(r Reg, vec Vector, k int) int64 {
 	return m.bank(r)[k][vec.Index]
 }
 
-// setAt writes register r at position k of a vector.
+// setAt writes register r at position k of a vector, dropping writes
+// to stuck BPs like Set.
 func (m *Machine) setAt(r Reg, vec Vector, k int, v int64) {
-	if vec.IsRow {
-		m.bank(r)[vec.Index][k] = v
-	} else {
-		m.bank(r)[k][vec.Index] = v
+	i, j := vec.Index, k
+	if !vec.IsRow {
+		i, j = k, vec.Index
 	}
+	if m.stuck != nil && m.stuck[[2]int{i, j}] {
+		return
+	}
+	m.bank(r)[i][j] = v
 }
 
 // RowRoot reads the data register of row tree i (an input port).
@@ -334,11 +363,14 @@ func (m *Machine) Router(vec Vector) Router {
 	return m.cols[vec.Index]
 }
 
-// checkVec validates a vector against the machine.
-func (m *Machine) checkVec(vec Vector) {
+// checkVec validates a vector against the machine, returning a typed
+// error (recorded sticky by the calling primitive) instead of
+// panicking.
+func (m *Machine) checkVec(op string, vec Vector) error {
 	if vec.Index < 0 || vec.Index >= m.K {
-		panic(fmt.Sprintf("core: %v out of range for K=%d", vec, m.K))
+		return &VectorError{Op: op, Vec: vec, K: m.K}
 	}
+	return nil
 }
 
 // Reset clears all routing/pipeline state (not register contents), as
@@ -366,7 +398,8 @@ func (m *Machine) trace(op string, vec Vector, start, end vlsi.Time) vlsi.Time {
 // pipeline multiplier of [6],[13] the paper adopts (Section II-B).
 func (m *Machine) Local(rel vlsi.Time, costBits int) vlsi.Time {
 	if costBits < 0 {
-		panic("core: negative local cost")
+		m.fail(&MisuseError{Op: "Local", Reason: "negative local cost"})
+		return rel
 	}
 	return rel + vlsi.Time(costBits)
 }

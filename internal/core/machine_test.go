@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -120,22 +121,34 @@ func TestLeafToRoot(t *testing.T) {
 
 func TestLeafToRootSelectorArity(t *testing.T) {
 	m := testMachine(t, 4)
-	mustPanic(t, "no BP selected", func() {
-		m.LeafToRoot(Row(0), func(int) bool { return false }, RegA, 0)
-	})
-	mustPanic(t, "two BPs selected", func() {
-		m.LeafToRoot(Row(0), func(k int) bool { return k < 2 }, RegA, 0)
-	})
+	if d := m.LeafToRoot(Row(0), func(int) bool { return false }, RegA, 7); d != 7 {
+		t.Error("failed primitive advanced time")
+	}
+	var se *SelectorError
+	if !errors.As(m.Err(), &se) || se.Selected != 0 {
+		t.Errorf("no-BP selection: err = %v", m.Err())
+	}
+	m.ClearErr()
+	m.LeafToRoot(Row(0), func(k int) bool { return k < 2 }, RegA, 0)
+	if !errors.As(m.Err(), &se) || se.Selected != 2 {
+		t.Errorf("two-BP selection: err = %v", m.Err())
+	}
 }
 
-func mustPanic(t *testing.T, what string, f func()) {
+// mustStick asserts that f records a sticky error of type target
+// (a pointer-to-pointer as with errors.As) and clears it.
+func mustStick(t *testing.T, m *Machine, what string, target any, f func()) {
 	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s did not panic", what)
-		}
-	}()
+	m.ClearErr()
 	f()
+	if m.Err() == nil {
+		t.Errorf("%s recorded no error", what)
+		return
+	}
+	if !errors.As(m.Err(), target) {
+		t.Errorf("%s: err %v is not %T", what, m.Err(), target)
+	}
+	m.ClearErr()
 }
 
 func TestCountLeafToRoot(t *testing.T) {
@@ -237,8 +250,11 @@ func TestCompareExchange(t *testing.T) {
 			t.Errorf("pair (%d,%d) not descending", j, j+2)
 		}
 	}
-	mustPanic(t, "bad stride", func() { m.CompareExchange(Row(0), 8, RegA, nil, 0) })
-	mustPanic(t, "non-pow2 stride", func() { m.CompareExchange(Row(0), 3, RegA, nil, 0) })
+	var me *MisuseError
+	mustStick(t, m, "bad stride", &me, func() { m.CompareExchange(Row(0), 8, RegA, nil, 0) })
+	mustStick(t, m, "non-pow2 stride", &me, func() { m.CompareExchange(Row(0), 3, RegA, nil, 0) })
+	var ve *VectorError
+	mustStick(t, m, "bad vector", &ve, func() { m.CompareExchange(Row(99), 1, RegA, nil, 0) })
 }
 
 func TestParDo(t *testing.T) {
@@ -281,7 +297,8 @@ func TestLocalCosts(t *testing.T) {
 	if m.CostMul() != 2*m.WordBits() {
 		t.Error("mul cost wrong")
 	}
-	mustPanic(t, "negative cost", func() { m.Local(0, -1) })
+	var me *MisuseError
+	mustStick(t, m, "negative cost", &me, func() { m.Local(0, -1) })
 }
 
 func TestResetRestoresTiming(t *testing.T) {
@@ -368,13 +385,14 @@ func TestPermuteVectorIdentityCheap(t *testing.T) {
 
 func TestPermuteVectorValidation(t *testing.T) {
 	m := testMachine(t, 4)
-	mustPanic(t, "short perm", func() {
+	var me *MisuseError
+	mustStick(t, m, "short perm", &me, func() {
 		m.PermuteVector(Row(0), []int{0, 1}, RegA, RegB, 0)
 	})
-	mustPanic(t, "duplicate target", func() {
+	mustStick(t, m, "duplicate target", &me, func() {
 		m.PermuteVector(Row(0), []int{0, 0, 1, 2}, RegA, RegB, 0)
 	})
-	mustPanic(t, "out of range", func() {
+	mustStick(t, m, "out of range", &me, func() {
 		m.PermuteVector(Row(0), []int{0, 1, 2, 9}, RegA, RegB, 0)
 	})
 }

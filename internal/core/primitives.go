@@ -14,54 +14,86 @@ import (
 // `pipedo` by issuing successive operations on the same trees at
 // increasing release times — the routers' persistent edge-occupancy
 // state makes the pipeline overlap real.
+//
+// Misuse (bad vector, bad selector arity, bad stride/permutation) and
+// unrecoverable fault outcomes record a typed sticky error on the
+// machine (see errors.go) and return rel unchanged; under an injected
+// fault plan each primitive falls back to degraded-mode routing (see
+// degraded.go) when its tree is cut.
 
 // RootToLeaf broadcasts the contents of the data register at the root
 // of the vector's tree to register dst of the BPs selected by sel
 // (primitive 1 of Section II-B). A nil selector selects all BPs. The
 // IPs "pick up data from the parent and pass it on to the sons", so
 // the wave floods the whole tree regardless of the selector; the
-// selector gates only which leaves latch the word.
+// selector gates only which leaves latch the word. On a cut tree the
+// flood skips dead subtrees and each selected cut leaf receives its
+// word by a reroute through orthogonal trees.
 func (m *Machine) RootToLeaf(vec Vector, sel Sel, dst Reg, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
+	if err := m.checkVec("ROOTTOLEAF", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
 	val := *m.root(vec)
 	for k := 0; k < m.K; k++ {
 		if sel == nil || sel(k) {
 			m.setAt(dst, vec, k, val)
 		}
 	}
-	_, done := m.Router(vec).Broadcast(rel)
+	per, done := m.Router(vec).Broadcast(rel)
+	if m.faulty {
+		done = m.deliverCut(vec, sel, per, done)
+		if done < rel {
+			done = rel
+		}
+	}
 	return m.trace("ROOTTOLEAF", vec, rel, done)
 }
 
 // LeafToRoot sends register src of the single BP selected by sel to
-// the root's data register (primitive 2). It panics unless exactly
-// one position is selected, matching the paper's "Selector specifies
-// one BP in Vector".
+// the root's data register (primitive 2). Selecting zero or more than
+// one BP records a *SelectorError — the paper requires "Selector
+// specifies one BP in Vector". A cut source leaf reroutes its word to
+// the nearest live leaf, which gathers on its behalf.
 func (m *Machine) LeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
-	leaf := -1
+	if err := m.checkVec("LEAFTOROOT", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
+	leaf, n := -1, 0
 	for k := 0; k < m.K; k++ {
 		if sel == nil || sel(k) {
-			if leaf >= 0 {
-				panic(fmt.Sprintf("core: LEAFTOROOT on %v selected more than one BP (%d and %d)", vec, leaf, k))
-			}
 			leaf = k
+			n++
 		}
 	}
-	if leaf < 0 {
-		panic(fmt.Sprintf("core: LEAFTOROOT on %v selected no BP", vec))
+	if n != 1 {
+		m.fail(&SelectorError{Op: "LEAFTOROOT", Vec: vec, Selected: n})
+		return rel
 	}
 	*m.root(vec) = m.at(src, vec, leaf)
-	done := m.Router(vec).Gather(leaf, rel)
+	grel := rel
+	if m.faulty {
+		var ok bool
+		if leaf, grel, ok = m.gatherFrom(vec, "LEAFTOROOT", leaf, rel); !ok {
+			return rel
+		}
+	}
+	done := m.Router(vec).Gather(leaf, grel)
 	return m.trace("LEAFTOROOT", vec, rel, done)
 }
 
 // CountLeafToRoot counts the BPs of the vector whose flag register
 // holds 1 and leaves the count in the root's data register
 // (primitive 3). Each IP adds the counts of its two sons in the bit
-// pipeline.
+// pipeline; on a cut tree the flagged cut leaves' words are rerouted
+// to live leaves before the ascent (zero contributions are the
+// additive identity and need no word moved).
 func (m *Machine) CountLeafToRoot(vec Vector, flag Reg, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
+	if err := m.checkVec("COUNT-LEAFTOROOT", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
 	var n int64
 	for k := 0; k < m.K; k++ {
 		if m.at(flag, vec, k) == 1 {
@@ -69,7 +101,8 @@ func (m *Machine) CountLeafToRoot(vec Vector, flag Reg, rel vlsi.Time) vlsi.Time
 		}
 	}
 	*m.root(vec) = n
-	done := m.Router(vec).ReduceUniform(rel)
+	flagged := func(k int) bool { return m.at(flag, vec, k) == 1 }
+	done := m.reduceOn(vec, "COUNT-LEAFTOROOT", flagged, rel)
 	return m.trace("COUNT-LEAFTOROOT", vec, rel, done)
 }
 
@@ -77,7 +110,10 @@ func (m *Machine) CountLeafToRoot(vec Vector, flag Reg, rel vlsi.Time) vlsi.Time
 // the sum in the root's data register (primitive 4). Unselected BPs
 // contribute the additive identity.
 func (m *Machine) SumLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
+	if err := m.checkVec("SUM-LEAFTOROOT", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
 	var s int64
 	for k := 0; k < m.K; k++ {
 		if sel == nil || sel(k) {
@@ -85,7 +121,7 @@ func (m *Machine) SumLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vls
 		}
 	}
 	*m.root(vec) = s
-	done := m.Router(vec).ReduceUniform(rel)
+	done := m.reduceOn(vec, "SUM-LEAFTOROOT", sel, rel)
 	return m.trace("SUM-LEAFTOROOT", vec, rel, done)
 }
 
@@ -95,7 +131,10 @@ func (m *Machine) SumLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vls
 // algorithms; the IPs compare MSB-first). If nothing is selected the
 // root receives Null.
 func (m *Machine) MinLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
+	if err := m.checkVec("MIN-LEAFTOROOT", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
 	min := Null
 	for k := 0; k < m.K; k++ {
 		if sel == nil || sel(k) {
@@ -109,7 +148,9 @@ func (m *Machine) MinLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vls
 		}
 	}
 	*m.root(vec) = min
-	done := m.Router(vec).ReduceUniform(rel)
+	// Null entries are the MIN identity: no word needs rerouting.
+	contributes := And(sel, func(k int) bool { return m.at(src, vec, k) != Null })
+	done := m.reduceOn(vec, "MIN-LEAFTOROOT", contributes, rel)
 	return m.trace("MIN-LEAFTOROOT", vec, rel, done)
 }
 
@@ -147,11 +188,16 @@ func (m *Machine) MinLeafToLeaf(vec Vector, srcSel Sel, src Reg, dstSel Sel, dst
 // pair is then ordered ascending where asc(k) is true, descending
 // otherwise. The exchanged words cross shared tree edges, so the
 // stride words through each block apex serialize — the congestion
-// that yields the paper's Θ(√N log N) bitonic bound.
+// that yields the paper's Θ(√N log N) bitonic bound. Pairs split by a
+// cut exchange their words through orthogonal trees instead.
 func (m *Machine) CompareExchange(vec Vector, stride int, reg Reg, asc func(k int) bool, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
+	if err := m.checkVec("COMPEX", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
 	if !vlsi.IsPow2(stride) || stride >= m.K {
-		panic(fmt.Sprintf("core: COMPEX stride %d on K=%d", stride, m.K))
+		m.fail(&MisuseError{Op: "COMPEX", Reason: fmt.Sprintf("stride %d invalid for K=%d", stride, m.K)})
+		return rel
 	}
 	for k := 0; k < m.K; k++ {
 		if k&stride != 0 {
@@ -164,7 +210,21 @@ func (m *Machine) CompareExchange(vec Vector, stride int, reg Reg, asc func(k in
 			m.setAt(reg, vec, k+stride, a)
 		}
 	}
-	done := m.Router(vec).ExchangePairs(stride, rel)
+	r := m.Router(vec)
+	var done vlsi.Time
+	if m.faulty && r.CutLeaves() != nil {
+		done = rel
+		for k := 0; k < m.K; k++ {
+			if k&stride != 0 {
+				continue
+			}
+			d1 := m.pairMove(vec, "COMPEX", k, k+stride, rel)
+			d2 := m.pairMove(vec, "COMPEX", k+stride, k, rel)
+			done = vlsi.MaxTimes(done, d1, d2)
+		}
+	} else {
+		done = r.ExchangePairs(stride, rel)
+	}
 	// One word comparison at each BP after the words meet.
 	done = m.Local(done, m.CostCompare())
 	return m.trace("COMPEX", vec, rel, done)
@@ -177,15 +237,22 @@ func (m *Machine) CompareExchange(vec Vector, stride int, reg Reg, asc func(k in
 // step behind the skew of the integer multiplier and the staging
 // moves of the graph programs; its cost ranges from Θ(log² K) for
 // local permutations to Θ(K log K) when many words cross the root.
+// Words whose source or target leaf is cut travel through orthogonal
+// trees.
 func (m *Machine) PermuteVector(vec Vector, perm []int, src, dst Reg, rel vlsi.Time) vlsi.Time {
-	m.checkVec(vec)
+	if err := m.checkVec("PERMUTE", vec); err != nil {
+		m.fail(err)
+		return rel
+	}
 	if len(perm) != m.K {
-		panic(fmt.Sprintf("core: permutation of %d on K=%d", len(perm), m.K))
+		m.fail(&MisuseError{Op: "PERMUTE", Reason: fmt.Sprintf("permutation of %d on K=%d", len(perm), m.K)})
+		return rel
 	}
 	seen := make([]bool, m.K)
 	for _, p := range perm {
 		if p < 0 || p >= m.K || seen[p] {
-			panic(fmt.Sprintf("core: perm is not a permutation (target %d)", p))
+			m.fail(&MisuseError{Op: "PERMUTE", Reason: fmt.Sprintf("not a permutation (target %d)", p)})
+			return rel
 		}
 		seen[p] = true
 	}
@@ -199,12 +266,19 @@ func (m *Machine) PermuteVector(vec Vector, perm []int, src, dst Reg, rel vlsi.T
 		m.setAt(dst, vec, perm[k], vals[k])
 	}
 	router := m.Router(vec)
+	degraded := m.faulty && router.CutLeaves() != nil
 	done := rel
 	for k := 0; k < m.K; k++ {
 		if perm[k] == k {
 			continue
 		}
-		if d := router.Route(router.Leaf(k), router.Leaf(perm[k]), rel); d > done {
+		var d vlsi.Time
+		if degraded {
+			d = m.pairMove(vec, "PERMUTE", k, perm[k], rel)
+		} else {
+			d = router.Route(router.Leaf(k), router.Leaf(perm[k]), rel)
+		}
+		if d > done {
 			done = d
 		}
 	}

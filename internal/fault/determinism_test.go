@@ -1,0 +1,112 @@
+// External test package: exercises the fault layer end to end through
+// core and sorting, which the fault package itself must not import.
+package fault_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/algorithms/sorting"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// runSort executes SORT-OTN on an 8×8 machine under the given plan and
+// returns everything observable about the run: output, finish time,
+// sticky error text, and the health counters.
+func runSort(t *testing.T, p *fault.Plan, inject bool) ([]int64, vlsi.Time, string, int, int) {
+	t.Helper()
+	k := 8
+	m, err := core.NewDefault(k, k*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inject {
+		if err := m.InjectFaults(p); err != nil {
+			t.Fatalf("InjectFaults(%+v): %v", p, err)
+		}
+	}
+	xs := workload.NewRNG(p.Seed | 1).Perm(k)
+	got, done := sorting.SortOTN(m, xs, 0)
+	errText := ""
+	if e := m.Err(); e != nil {
+		errText = e.Error()
+	}
+	reroutes, transients := 0, 0
+	if h := m.Health(); h != nil {
+		reroutes, transients = h.Reroutes, h.Transients
+	}
+	return got, done, errText, reroutes, transients
+}
+
+// FuzzPlanDeterminism is the determinism contract of the whole fault
+// layer: for ANY (seed, fault count, transient switch) the plan is
+// reproducible, and two machines running the same program under it
+// agree on output, finish time, error outcome, and health counters.
+// A zero-fault plan must further be bit-identical to no plan at all.
+func FuzzPlanDeterminism(f *testing.F) {
+	f.Add(uint64(0), uint8(0), false)
+	f.Add(uint64(7), uint8(1), false)
+	f.Add(uint64(1983), uint8(2), true)
+	f.Add(uint64(42), uint8(3), true)
+	f.Add(uint64(0xDEADBEEF), uint8(5), false)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, transients bool) {
+		k := 8
+		n := int(nRaw) % 4
+		build := func() *fault.Plan {
+			p := fault.Random(k, n, seed)
+			if transients {
+				p = p.WithTransients(0.1)
+			}
+			return p
+		}
+		p1, p2 := build(), build()
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("same seed, different plans:\n%+v\n%+v", p1, p2)
+		}
+		g1, d1, e1, r1, tr1 := runSort(t, p1, true)
+		g2, d2, e2, r2, tr2 := runSort(t, p2, true)
+		if !reflect.DeepEqual(g1, g2) {
+			t.Errorf("outputs differ: %v vs %v", g1, g2)
+		}
+		if d1 != d2 {
+			t.Errorf("finish times differ: %d vs %d", d1, d2)
+		}
+		if e1 != e2 {
+			t.Errorf("error outcomes differ: %q vs %q", e1, e2)
+		}
+		if r1 != r2 || tr1 != tr2 {
+			t.Errorf("health differs: %d/%d vs %d/%d reroutes/transients", r1, tr1, r2, tr2)
+		}
+		if p1.Empty() {
+			g0, d0, e0, _, _ := runSort(t, p1, false)
+			if !reflect.DeepEqual(g0, g1) || d0 != d1 || e0 != e1 {
+				t.Errorf("empty plan not bit-identical to no plan: time %d vs %d", d1, d0)
+			}
+		}
+	})
+}
+
+// TestRandomPlanSiteSpread sanity-checks Random's output shape so the
+// fuzz target above is exercising real plans, not degenerate ones.
+func TestRandomPlanSiteSpread(t *testing.T) {
+	k := 16
+	p := fault.Random(k, 8, 99)
+	if len(p.DeadEdges) != 8 {
+		t.Fatalf("want 8 dead edges, got %d", len(p.DeadEdges))
+	}
+	if err := p.Validate(k, k); err != nil {
+		t.Fatalf("Random produced an invalid plan: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, s := range p.DeadEdges {
+		key := fmt.Sprintf("%v/%d/%d", s.Row, s.Tree, s.Node)
+		if seen[key] {
+			t.Fatalf("duplicate site %s", s)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEmptyPlan(t *testing.T) {
+	if !New(7).Empty() {
+		t.Error("fresh plan not empty")
+	}
+	var p *Plan
+	if !p.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if New(7).ForTree(true, 0, 8, nil) != nil {
+		t.Error("empty plan produced a tree view")
+	}
+	if New(7).KillEdge(true, 0, 5).Empty() {
+		t.Error("plan with a dead edge reported empty")
+	}
+}
+
+func TestForTreeProjection(t *testing.T) {
+	p := New(1).KillEdge(true, 2, 5).KillIP(false, 3, 1)
+	h := &Health{}
+
+	if f := p.ForTree(true, 0, 8, h); f != nil {
+		t.Error("healthy row tree 0 got a non-nil view")
+	}
+	f := p.ForTree(true, 2, 8, h)
+	if f == nil {
+		t.Fatal("row tree 2 should have a view")
+	}
+	if !f.EdgeDead(5) || f.EdgeDead(4) || f.EdgeDead(2) {
+		t.Error("dead-edge projection wrong")
+	}
+	if !f.Dead() {
+		t.Error("view with a dead edge reports !Dead")
+	}
+
+	// Dead IP at the root of column tree 3 silences both child links.
+	g := p.ForTree(false, 3, 8, h)
+	if g == nil {
+		t.Fatal("col tree 3 should have a view")
+	}
+	if !g.IPDead(1) || !g.EdgeDead(2) || !g.EdgeDead(3) {
+		t.Error("dead-IP projection wrong")
+	}
+}
+
+func TestTransientOnlyView(t *testing.T) {
+	p := New(9).WithTransients(0.5)
+	f := p.ForTree(true, 4, 8, &Health{})
+	if f == nil {
+		t.Fatal("transient rate should force a view on every tree")
+	}
+	if f.Dead() {
+		t.Error("transient-only view reports dead hardware")
+	}
+	if f.EdgeDead(2) {
+		t.Error("transient-only view kills edges")
+	}
+}
+
+// TestCorruptAscentDeterminism: the corruption schedule is a pure
+// function of (seed, tree identity, ascent counter).
+func TestCorruptAscentDeterminism(t *testing.T) {
+	mk := func() *TreeFaults { return New(42).WithTransients(0.3).ForTree(true, 1, 16, nil) }
+	a, b := mk(), mk()
+	hits := 0
+	for op := uint64(0); op < 1000; op++ {
+		ca, cb := a.CorruptAscent(op), b.CorruptAscent(op)
+		if ca != cb {
+			t.Fatalf("ascent %d: schedules diverge", op)
+		}
+		if ca {
+			hits++
+		}
+	}
+	// Rate 0.3 over 1000 draws: expect roughly 300, generously bounded.
+	if hits < 200 || hits > 400 {
+		t.Errorf("corruption rate off: %d/1000 at rate 0.3", hits)
+	}
+	// Different trees draw independent schedules.
+	c := New(42).WithTransients(0.3).ForTree(false, 1, 16, nil)
+	same := 0
+	for op := uint64(0); op < 1000; op++ {
+		if a.CorruptAscent(op) == c.CorruptAscent(op) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("row and column trees share a corruption schedule")
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(16, 5, 1983)
+	b := Random(16, 5, 1983)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same (k, n, seed) produced different plans")
+	}
+	c := Random(16, 5, 1984)
+	if reflect.DeepEqual(a.DeadEdges, c.DeadEdges) {
+		t.Error("different seeds produced identical plans")
+	}
+	if len(a.DeadEdges) != 5 {
+		t.Fatalf("want 5 dead edges, got %d", len(a.DeadEdges))
+	}
+	seen := map[Site]bool{}
+	for _, s := range a.DeadEdges {
+		if seen[s] {
+			t.Errorf("duplicate fault site %v", s)
+		}
+		seen[s] = true
+		if s.Tree < 0 || s.Tree >= 16 || s.Node < 2 || s.Node >= 32 {
+			t.Errorf("site %v out of range for K=16", s)
+		}
+	}
+	if err := a.Validate(16, 16); err != nil {
+		t.Errorf("random plan fails its own validation: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Plan
+		ok   bool
+	}{
+		{"edge ok", New(1).KillEdge(true, 0, 2), true},
+		{"edge root", New(1).KillEdge(true, 0, 1), false}, // node 1 has no parent link
+		{"edge high", New(1).KillEdge(true, 0, 16), false},
+		{"tree high", New(1).KillEdge(true, 8, 2), false},
+		{"ip ok", New(1).KillIP(false, 7, 3), true},
+		{"ip leaf", New(1).KillIP(false, 0, 8), false}, // leaves are BPs, not IPs
+		{"bp ok", New(1).StickBP(7, 7), true},
+		{"bp high", New(1).StickBP(8, 0), false},
+		{"rate ok", New(1).WithTransients(0.25), true},
+		{"rate one", New(1).WithTransients(1.0), false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate(8, 8)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid plan accepted", c.name)
+		}
+	}
+}
+
+func TestHealthReport(t *testing.T) {
+	h := &Health{DeadEdges: 2}
+	h.Transients++
+	h.Retries++
+	h.RetryLatency += 40
+	h.Reroute(100)
+	if h.AddedLatency() != 140 {
+		t.Errorf("added latency %d, want 140", h.AddedLatency())
+	}
+	if h.Err() != nil {
+		t.Error("healthy run reports an error")
+	}
+	h.Fail(&StormError{Op: "Reduce", Retries: 3})
+	if h.Err() == nil || h.Failures() != 1 {
+		t.Error("failure not recorded")
+	}
+	r := h.Report()
+	for _, want := range []string{"2 dead edge", "transients caught: 1", "rerouted words:    1", "UNRECOVERED"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestRetriesDefault(t *testing.T) {
+	if New(1).Retries() != DefaultMaxRetries {
+		t.Error("zero MaxRetries should default")
+	}
+	p := New(1)
+	p.MaxRetries = 7
+	if p.Retries() != 7 {
+		t.Error("explicit MaxRetries ignored")
+	}
+	var f *TreeFaults
+	if f.MaxRetries() != DefaultMaxRetries {
+		t.Error("nil view retry bound wrong")
+	}
+	if f.CorruptAscent(3) {
+		t.Error("nil view corrupts")
+	}
+	if f.EdgeDead(2) || f.IPDead(1) || f.Dead() {
+		t.Error("nil view reports dead hardware")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/tree"
 	"repro/internal/vlsi"
@@ -57,9 +58,27 @@ func (c *cycleRouter) logicalK() int { return c.l * c.t.K() }
 
 // Broadcast floods one word to every logical leaf of this row: one
 // physical broadcast to the cycle ports, then L−1 circulate steps
-// spread the word around each cycle.
+// spread the word around each cycle. On a cut physical tree only the
+// reached cycles circulate; logical leaves of cut cycles report
+// tree.Unreached.
 func (c *cycleRouter) Broadcast(rel vlsi.Time) ([]vlsi.Time, vlsi.Time) {
-	_, d := c.t.Broadcast(rel)
+	phys, d := c.t.Broadcast(rel)
+	if cut := c.t.CutLeaves(); cut != nil {
+		// d is already the max over reached ports (or Unreached).
+		done := tree.Unreached
+		if d != tree.Unreached {
+			done = d + vlsi.Time(c.l-1)*c.sh
+		}
+		per := make([]vlsi.Time, c.logicalK())
+		for i := range per {
+			if phys[i/c.l] == tree.Unreached {
+				per[i] = tree.Unreached
+			} else {
+				per[i] = done
+			}
+		}
+		return per, done
+	}
 	done := d + vlsi.Time(c.l-1)*c.sh
 	per := make([]vlsi.Time, c.logicalK())
 	for i := range per {
@@ -118,6 +137,51 @@ func (c *cycleRouter) Route(src, dst int, rel vlsi.Time) vlsi.Time {
 	drag := rel + vlsi.Time(src%c.l)*c.hop
 	t := c.t.Route(c.t.Leaf(src/c.l), c.t.Leaf(dst/c.l), drag)
 	return t + vlsi.Time(dst%c.l)*c.hop
+}
+
+// RouteChecked is Route with validated logical positions and fault
+// awareness on the shared physical tree; within-cycle moves never
+// touch the tree and cannot be cut.
+func (c *cycleRouter) RouteChecked(src, dst int, rel vlsi.Time) (vlsi.Time, error) {
+	if src < 0 || src >= c.logicalK() {
+		return 0, fmt.Errorf("otc: RouteChecked: logical leaf %d out of range [0,%d)", src, c.logicalK())
+	}
+	if dst < 0 || dst >= c.logicalK() {
+		return 0, fmt.Errorf("otc: RouteChecked: logical leaf %d out of range [0,%d)", dst, c.logicalK())
+	}
+	if src/c.l == dst/c.l {
+		return c.Route(src, dst, rel), nil
+	}
+	drag := rel + vlsi.Time(src%c.l)*c.hop
+	tt, err := c.t.RouteChecked(c.t.Leaf(src/c.l), c.t.Leaf(dst/c.l), drag)
+	if err != nil {
+		return 0, err
+	}
+	return tt + vlsi.Time(dst%c.l)*c.hop, nil
+}
+
+// ApplyFaults projects a fault plan onto the shared physical tree.
+// Sites name the physical group trees: logical rows g·L..g·L+L−1 all
+// map to group tree g = index/L, so the projection is idempotent
+// across a group's members.
+func (c *cycleRouter) ApplyFaults(p *fault.Plan, row bool, index int, h *fault.Health) {
+	c.t.ApplyFaults(p, row, index/c.l, h)
+}
+
+// CutLeaves expands the physical tree's cut ports to logical leaves:
+// cutting cycle p's port cuts its L logical positions.
+func (c *cycleRouter) CutLeaves() []int {
+	pc := c.t.CutLeaves()
+	if pc == nil {
+		return nil
+	}
+	out := make([]int, 0, len(pc)*c.l)
+	for _, p := range pc {
+		for q := 0; q < c.l; q++ {
+			out = append(out, p*c.l+q)
+		}
+	}
+	return out
 }
 
 // Leaf names logical leaves by their position (identity), matching

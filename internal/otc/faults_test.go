@@ -1,0 +1,113 @@
+package otc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+
+	"repro/internal/algorithms/sorting"
+)
+
+// On an emulated OTN, fault sites name the PHYSICAL group trees: a
+// k×k-cycle OTC backing an N×N logical machine has k = N/L row trees,
+// and Site{Tree: g} hits the tree shared by logical rows g·L..g·L+L−1.
+// Cutting physical cycle port p cuts its whole cycle — L logical
+// leaves.
+
+// TestEmulatedBroadcastCutCycle: killing one physical edge cuts whole
+// cycles of logical leaves, and the healthy remainder still completes.
+func TestEmulatedBroadcastCutCycle(t *testing.T) {
+	n, l := 16, 2 // 8 physical trees of 8 cycles each
+	emu, err := NewEmulatedOTN(n, l, vlsi.DefaultConfig(n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge above physical node 8 (= physical leaf 0) of group tree 1:
+	// logical rows 2 and 3 lose logical leaves 0 and 1.
+	if err := emu.InjectFaults(fault.New(1).KillEdge(true, 1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	emu.SetRowRoot(2, 77)
+	emu.RootToLeaf(core.Row(2), nil, core.RegA, 0)
+	if emu.Err() != nil {
+		t.Fatalf("degraded emulated broadcast failed: %v", emu.Err())
+	}
+	for j := 0; j < n; j++ {
+		if emu.Get(core.RegA, 2, j) != 77 {
+			t.Errorf("logical BP(2,%d) = %d, want 77", j, emu.Get(core.RegA, 2, j))
+		}
+	}
+	if emu.Health().Reroutes == 0 {
+		t.Error("cut cycle ports did not reroute")
+	}
+}
+
+// TestEmulatedSortWithFaults: SORT-OTN on the Section VI emulation
+// still sorts with a dead physical tree edge — the degraded layer
+// composes with the OTC mapping.
+func TestEmulatedSortWithFaults(t *testing.T) {
+	n, l := 16, 2
+	emu, err := NewEmulatedOTN(n, l, vlsi.DefaultConfig(n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emu.InjectFaults(fault.New(3).KillEdge(true, 2, 9)); err != nil {
+		t.Fatal(err)
+	}
+	xs := workload.NewRNG(6).Perm(n)
+	got, done := sorting.SortOTN(emu, xs, 0)
+	if emu.Err() != nil {
+		t.Fatalf("emulated degraded sort failed: %v", emu.Err())
+	}
+	if !equal(got, sortedCopy(xs)) {
+		t.Fatalf("emulated degraded sort wrong: %v", got)
+	}
+	healthy, err := NewEmulatedOTN(n, l, vlsi.DefaultConfig(n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hd := sorting.SortOTN(healthy, xs, 0)
+	if done <= hd {
+		t.Errorf("degraded emulated sort (%d) not slower than healthy (%d)", done, hd)
+	}
+}
+
+// TestCycleRouterCutLeafExpansion: the physical→logical cut expansion
+// is exactly L logical leaves per cut cycle port.
+func TestCycleRouterCutLeafExpansion(t *testing.T) {
+	n, l := 16, 4 // 4 physical trees of 4 cycles
+	emu, err := NewEmulatedOTN(n, l, vlsi.DefaultConfig(n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Physical leaf 3 of group tree 0 (node 4+3=7): logical leaves 12..15.
+	if err := emu.InjectFaults(fault.New(1).KillEdge(true, 0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	cut := emu.Router(core.Row(0)).CutLeaves()
+	want := []int{12, 13, 14, 15}
+	if len(cut) != len(want) {
+		t.Fatalf("cut = %v, want %v", cut, want)
+	}
+	for i := range want {
+		if cut[i] != want[i] {
+			t.Fatalf("cut = %v, want %v", cut, want)
+		}
+	}
+	// The healthy groups expose no cut leaves at all.
+	if c := emu.Router(core.Row(4)).CutLeaves(); c != nil {
+		t.Errorf("healthy group reports cut leaves %v", c)
+	}
+	// Broadcast marks exactly those leaves unreached.
+	per, _ := emu.Router(core.Row(0)).Broadcast(0)
+	for j := 0; j < n; j++ {
+		wantCut := j >= 12
+		if (per[j] == tree.Unreached) != wantCut {
+			t.Errorf("leaf %d: time %d, cut=%v", j, per[j], wantCut)
+		}
+	}
+}

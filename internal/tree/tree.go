@@ -27,6 +27,7 @@ package tree
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/vlsi"
 )
@@ -43,6 +44,14 @@ type Tree struct {
 	// nodeLatency is the per-IP store-and-forward latency in
 	// bit-times (1: each IP re-times the bit stream).
 	nodeLatency vlsi.Time
+
+	// Fault state (see fault.go). faults is nil on a healthy tree,
+	// and every fault guard in the hot paths is nil-cheap, so the
+	// healthy router runs the exact pre-fault code path.
+	faults      *fault.TreeFaults
+	unreachable []bool // node v has no live path to the root
+	cutLeaves   []int  // leaf indices with unreachable[K+j], sorted
+	ascents     uint64 // combining-ascent sequence number
 }
 
 // New builds a router over the given measured tree geometry.
@@ -140,6 +149,12 @@ func (t *Tree) Route(src, dst int, rel vlsi.Time) vlsi.Time {
 	t.checkNode(src)
 	t.checkNode(dst)
 	up, down := pathVia(src, dst)
+	return t.claimPath(up, down, rel)
+}
+
+// claimPath claims the up-leg and down-leg edges of a routed word in
+// traversal order and returns its completion time at the far end.
+func (t *Tree) claimPath(up, down []int, rel vlsi.Time) vlsi.Time {
 	head := rel
 	for i, v := range up {
 		if i > 0 {
@@ -187,6 +202,9 @@ func pathVia(src, dst int) (up, down []int) {
 // and pass it on to the sons"). rel is the time the word is ready at
 // the root. It returns the per-leaf completion times and the maximum.
 func (t *Tree) Broadcast(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time) {
+	if t.faults.Dead() {
+		return t.broadcastFaulty(rel)
+	}
 	k := t.geom.K
 	head := make([]vlsi.Time, 2*k)
 	head[Root] = rel
@@ -228,6 +246,9 @@ func (t *Tree) Reduce(rel []vlsi.Time) vlsi.Time {
 	k := t.geom.K
 	if len(rel) != k {
 		panic(fmt.Sprintf("tree: Reduce with %d release times, want %d", len(rel), k))
+	}
+	if t.faults != nil {
+		return t.reduceFaulty(rel)
 	}
 	ready := make([]vlsi.Time, 2*k)
 	copy(ready[k:], rel)

@@ -33,6 +33,10 @@
 //   - Table1 … Table4, MSTStudy, FigureAreas regenerate the paper's
 //     evaluation artefacts.
 //   - NewMesh, NewPSN, NewCCC expose the baselines directly.
+//   - NewFaultPlan / RandomFaultPlan / Machine.InjectFaults exercise
+//     the degraded-mode execution layer (dead tree hardware is
+//     bypassed through the orthogonal trees); FaultSweepStudy
+//     measures the robustness surcharge.
 package orthotrees
 
 import (
@@ -46,6 +50,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ccc"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/mesh"
 	"repro/internal/mot3d"
@@ -93,6 +98,17 @@ type (
 	MoT3D = mot3d.Machine
 	// TraceRecorder collects and summarizes primitive events.
 	TraceRecorder = core.TraceRecorder
+	// FaultPlan is a seed-reproducible description of dead tree
+	// edges, dead internal processors, stuck base processors and
+	// transient corruption, injectable into any Machine.
+	FaultPlan = fault.Plan
+	// Health is a machine's fault/recovery ledger: what was dead,
+	// what was healed, and what the detours cost in bit-times.
+	Health = fault.Health
+	// FaultSweep is the robustness experiment: correctness and
+	// slowdown of SORT-OTN and CONNECTED-COMPONENTS versus the
+	// number of injected faults.
+	FaultSweep = analysis.FaultSweep
 )
 
 // Delay models.
@@ -147,6 +163,27 @@ func NewCCC(n int, cfg Config) (*CCC, error) { return ccc.New(n, cfg) }
 
 // NewRNG returns a deterministic workload generator.
 func NewRNG(seed uint64) *RNG { return workload.NewRNG(seed) }
+
+// NewFaultPlan returns an empty fault plan (chain KillEdge, KillIP,
+// StickBP, WithTransients onto it). Injecting an empty plan is
+// guaranteed to leave the machine bit-identical to one that never saw
+// a plan.
+func NewFaultPlan(seed uint64) *FaultPlan { return fault.New(seed) }
+
+// RandomFaultPlan returns a plan of nFaults distinct dead tree edges
+// scattered uniformly over the 2k trees of a (k×k)-OTN, derived
+// entirely from the seed.
+func RandomFaultPlan(k, nFaults int, seed uint64) *FaultPlan {
+	return fault.Random(k, nFaults, seed)
+}
+
+// FaultSweepStudy measures the robustness surcharge: SORT-OTN and
+// CONNECTED-COMPONENTS on an (n×n)-OTN under 0..maxFaults random dead
+// tree edges, reporting correctness, slowdown and the bit-times
+// charged for the orthogonal-tree detours.
+func FaultSweepStudy(n, maxFaults int, seed uint64) (*FaultSweep, error) {
+	return analysis.FaultSweepStudy(n, maxFaults, seed)
+}
 
 // Sort runs procedure SORT-OTN (Section II-B): the K numbers xs enter
 // the input ports of the (K×K)-OTN and leave sorted at the output
