@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,32 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The race detector is pointed at the two packages that actually share
-# memory across goroutines: the goroutine-per-node engine and the tree
-# router it cross-validates. (tree takes ~1-2 min under -race; the
-# other packages are single-goroutine simulators.)
+# The race detector is pointed at the packages that share memory
+# across goroutines: the goroutine-per-node engine, the tree router it
+# cross-validates, and — since the host-parallel core — the machine's
+# ParDo pool and the analysis sweep's concurrent cells (whose
+# determinism test doubles as the race proof).
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/tree/...
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/...
+	$(GO) test -race -run 'Deterministic|Parallel' ./internal/analysis/...
 
 # Short fuzz pass over the fault-plan determinism property.
 fuzz:
 	$(GO) test -fuzz FuzzPlanDeterminism -fuzztime 10s ./internal/fault
 
-ci: build vet test race
+# Regenerate the committed benchmark baseline (host numbers are
+# environmental; the simulated metrics inside must never change).
+bench:
+	$(GO) run ./cmd/otbench -json BENCH.json
+
+# Re-run the suite and diff against the committed baseline: simulated
+# metrics gate exactly, allocs/op gates with slack, ns/op informs.
+benchcmp:
+	$(GO) run ./cmd/otbench -compare BENCH.json
+
+# One-iteration pass over every benchmark: compile + run smoke, no
+# timing fidelity intended.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet test race benchsmoke

@@ -5,22 +5,43 @@
 // (simulated) area, time and A·T² next to the paper's asymptotic
 // claims, plus log-log growth fits across the sweep.
 //
+// It doubles as the repository's benchmark-regression harness: -json
+// runs a fixed suite of host benchmarks (wall-clock ns/op, allocs/op,
+// bytes/op) that each also record the simulated quantities they
+// produce (bit-times, λ² area), and writes them to a machine-readable
+// file. -compare checks a fresh run against a committed baseline:
+// simulated quantities must match EXACTLY (they are outputs of the
+// paper's model, not of the host), allocs/op may not regress beyond a
+// small tolerance, and ns/op is reported but never gates (it depends
+// on the host).
+//
 // Usage:
 //
-//	otbench                  # everything, default sweep sizes
-//	otbench -table 3         # just Table III
-//	otbench -sizes 16,64,256 # override the sweep
-//	otbench -faultsweep      # robustness: slowdown vs injected faults
+//	otbench                   # everything, default sweep sizes
+//	otbench -table 3          # just Table III
+//	otbench -sizes 16,64,256  # override the sweep
+//	otbench -faultsweep       # robustness: slowdown vs injected faults
+//	otbench -json BENCH.json  # run the bench suite, write the baseline
+//	otbench -compare BENCH.json          # re-run, diff against baseline
+//	otbench -json new.json -compare BENCH.json
+//	otbench -cpuprofile cpu.pprof -json /dev/null
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
+	"testing"
 
 	orthotrees "repro"
+	"repro/internal/core"
 )
 
 func main() {
@@ -32,64 +53,107 @@ func main() {
 	mot3d := flag.Bool("mot3d", false, "also run the §VII-B 3D mesh-of-trees comparison")
 	faultsweep := flag.Bool("faultsweep", false, "also run the fault sweep (implied by -table 0)")
 	format := flag.String("format", "text", "output format: text | markdown")
+	jsonOut := flag.String("json", "", "run the benchmark suite and write results to this file")
+	compare := flag.String("compare", "", "run the benchmark suite and diff against this baseline file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	all := *table == 0
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	ok := true
+	if *jsonOut != "" || *compare != "" {
+		ok = benchMode(*jsonOut, *compare)
+	} else {
+		runTables(*table, *sizes, *mst, *figs, *pipeline, *mot3d, *faultsweep, *format)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "otbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// --- table regeneration (the original otbench) ----------------------
+
+func runTables(table int, sizes string, mst, figs, pipeline, mot3d, faultsweep bool, format string) {
+	all := table == 0
 	run := func(name string, def []int, f func([]int) (*orthotrees.Experiment, error)) {
 		ns := def
-		if *sizes != "" {
-			ns = parseSizes(*sizes)
+		if sizes != "" {
+			ns = parseSizes(sizes)
 		}
 		e, err := f(ns)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "otbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fatalf("%s: %v", name, err)
 		}
-		if *format == "markdown" {
+		if format == "markdown" {
 			fmt.Println(e.Markdown())
 		} else {
 			fmt.Println(e.Render())
 		}
 	}
 
-	if all || *table == 1 {
+	if all || table == 1 {
 		run("Table I", []int{16, 64, 256}, orthotrees.Table1)
 	}
-	if all || *table == 2 {
+	if all || table == 2 {
 		run("Table II", []int{4, 8, 16}, orthotrees.Table2)
 	}
-	if all || *table == 3 {
+	if all || table == 3 {
 		run("Table III", []int{16, 32, 64, 128}, orthotrees.Table3)
 	}
-	if all || *table == 4 {
+	if all || table == 4 {
 		run("Table IV", []int{16, 64, 256}, orthotrees.Table4)
 	}
-	if all || *mst {
+	if all || mst {
 		run("MST", []int{8, 16, 32, 64}, orthotrees.MSTStudy)
 	}
-	if all || *figs {
+	if all || figs {
 		run("Figs. 1-3", []int{16, 64, 256, 1024}, orthotrees.FigureAreas)
 	}
-	if all || *mot3d {
+	if all || mot3d {
 		run("3D mesh of trees", []int{4, 8, 16}, orthotrees.MatMul3DStudy)
 	}
-	if all || *faultsweep {
+	if all || faultsweep {
 		s, err := orthotrees.FaultSweepStudy(32, 4, 1983)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "otbench: fault sweep: %v\n", err)
-			os.Exit(1)
+			fatalf("fault sweep: %v", err)
 		}
-		if *format == "markdown" {
+		if format == "markdown" {
 			fmt.Println(s.Markdown())
 		} else {
 			fmt.Println(s.Render())
 		}
 	}
-	if all || *pipeline {
+	if all || pipeline {
 		latency, steady, err := orthotrees.PipelineStudy(64, 16)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "otbench: pipeline: %v\n", err)
-			os.Exit(1)
+			fatalf("pipeline: %v", err)
 		}
 		fmt.Printf("§VIII pipelining (N=64, 16 batches): single-problem latency %d bit-times, steady-state output interval %d bit-times (%.1fx speedup)\n\n",
 			latency, steady, float64(latency)/float64(steady))
@@ -107,4 +171,290 @@ func parseSizes(s string) []int {
 		out = append(out, n)
 	}
 	return out
+}
+
+// --- benchmark-regression harness -----------------------------------
+
+// BenchResult is one suite entry: the host-side cost of the benchmark
+// body plus the simulated quantities it computed. The two halves gate
+// differently in a comparison — simulated values are exact, host
+// values are environmental.
+type BenchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Simulated holds model outputs (bit-times, λ² area) keyed by
+	// metric name. All are integer-valued; -compare requires exact
+	// equality.
+	Simulated map[string]float64 `json:"simulated,omitempty"`
+}
+
+// BenchFile is the on-disk schema of BENCH.json.
+type BenchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	MaxProcs   int           `json:"maxprocs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// simMap collects the simulated metrics a benchmark body produces.
+// Bodies overwrite the same keys every b.N loop, so the recorded
+// values are those of the final iteration — which determinism
+// guarantees equal those of every iteration.
+type simMap map[string]float64
+
+func (s simMap) rows(e *orthotrees.Experiment) {
+	for _, r := range e.Rows {
+		s[fmt.Sprintf("%s/N=%d/bit-times", r.Network, r.N)] = float64(r.Time)
+		s[fmt.Sprintf("%s/N=%d/area", r.Network, r.N)] = float64(r.Area)
+	}
+}
+
+// suite is the fixed benchmark set. Table sweeps exercise the full
+// stack (machine + analysis, including the host-parallel cells);
+// the micro entries pin the allocation behaviour of the hot router
+// and primitive paths that PR 2 flattened.
+var suite = []struct {
+	name string
+	run  func(b *testing.B, sim simMap)
+}{
+	{"Table1Sort/n=64", func(b *testing.B, sim simMap) {
+		var e *orthotrees.Experiment
+		var err error
+		for i := 0; i < b.N; i++ {
+			if e, err = orthotrees.Table1([]int{64}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.rows(e)
+	}},
+	{"Table3Components/n=64", func(b *testing.B, sim simMap) {
+		var e *orthotrees.Experiment
+		var err error
+		for i := 0; i < b.N; i++ {
+			if e, err = orthotrees.Table3([]int{64}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.rows(e)
+	}},
+	{"SortOTN/n=64", func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs := orthotrees.NewRNG(11).Perm(64)
+		var done orthotrees.Time
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			_, done = orthotrees.Sort(m, xs)
+		}
+		sim["sort/bit-times"] = float64(done)
+		sim["sort/area"] = float64(m.Area())
+	}},
+	{"TreeBroadcast/K=64", func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := m.Router(orthotrees.Vector{IsRow: true})
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset()
+			_, done = r.Broadcast(0)
+		}
+		sim["broadcast/bit-times"] = float64(done)
+	}},
+	{"TreeReduce/K=64", func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := m.Router(orthotrees.Vector{IsRow: true})
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset()
+			done = r.ReduceUniform(0)
+		}
+		sim["reduce/bit-times"] = float64(done)
+	}},
+	{"TreeRoute/K=64", func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := m.Router(orthotrees.Vector{IsRow: true})
+		src, dst := r.Leaf(0), r.Leaf(63)
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset()
+			done = r.Route(src, dst, 0)
+		}
+		sim["route/bit-times"] = float64(done)
+	}},
+	{"LeafToLeaf/K=64", func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vec := orthotrees.Vector{IsRow: true}
+		m.Set("A", 0, 5, 42)
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			done = m.LeafToLeaf(vec, core.One(5), "A", core.All, "B", 0)
+		}
+		sim["leaftoleaf/bit-times"] = float64(done)
+	}},
+	{"ParDoSweep/K=64", func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sel := core.One(5)
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			done = m.ParDo(true, 0, func(vec orthotrees.Vector, rel orthotrees.Time) orthotrees.Time {
+				return m.LeafToRoot(vec, sel, "A", rel)
+			})
+		}
+		if err := m.Err(); err != nil {
+			b.Fatal(err)
+		}
+		sim["pardo/bit-times"] = float64(done)
+	}},
+}
+
+// runSuite executes every suite entry under testing.Benchmark with
+// allocation tracking and returns the populated file.
+func runSuite() BenchFile {
+	f := BenchFile{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, def := range suite {
+		sim := simMap{}
+		run := def.run
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			run(b, sim)
+		})
+		f.Benchmarks = append(f.Benchmarks, BenchResult{
+			Name:        def.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Simulated:   sim,
+		})
+		fmt.Fprintf(os.Stderr, "otbench: %-24s %12d ns/op %8d allocs/op %10d B/op\n",
+			def.name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+	return f
+}
+
+// allocSlack is the -compare tolerance on allocs/op: small counts
+// jitter with GC timing and testing.Benchmark's chosen b.N, so a
+// regression must clear both a relative and an absolute bar to fail
+// the gate.
+const (
+	allocSlackRatio = 1.25
+	allocSlackAbs   = 16
+)
+
+func benchMode(jsonOut, compare string) bool {
+	cur := runSuite()
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatalf("json: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fatalf("json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "otbench: wrote %d benchmarks to %s\n", len(cur.Benchmarks), jsonOut)
+	}
+	if compare == "" {
+		return true
+	}
+	data, err := os.ReadFile(compare)
+	if err != nil {
+		fatalf("compare: %v", err)
+	}
+	var base BenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatalf("compare: %s: %v", compare, err)
+	}
+	return diff(base, cur)
+}
+
+// diff reports cur against base. Simulated metrics must match
+// exactly; allocs/op may not regress beyond the slack; ns/op is
+// printed as a ratio but never fails the comparison.
+func diff(base, cur BenchFile) bool {
+	curByName := map[string]BenchResult{}
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+	ok := true
+	for _, old := range base.Benchmarks {
+		now, found := curByName[old.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "FAIL %s: benchmark missing from current run\n", old.Name)
+			ok = false
+			continue
+		}
+		delete(curByName, old.Name)
+		// Simulated quantities are model outputs: any drift is a
+		// correctness bug, not a performance change.
+		keys := make([]string, 0, len(old.Simulated))
+		for k := range old.Simulated {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			want := old.Simulated[k]
+			got, has := now.Simulated[k]
+			if !has {
+				fmt.Fprintf(os.Stderr, "FAIL %s: simulated metric %q missing\n", old.Name, k)
+				ok = false
+			} else if got != want {
+				fmt.Fprintf(os.Stderr, "FAIL %s: simulated %q = %v, baseline %v\n", old.Name, k, got, want)
+				ok = false
+			}
+		}
+		limit := int64(float64(old.AllocsPerOp)*allocSlackRatio) + allocSlackAbs
+		if now.AllocsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "FAIL %s: allocs/op %d exceeds baseline %d (limit %d)\n",
+				old.Name, now.AllocsPerOp, old.AllocsPerOp, limit)
+			ok = false
+		}
+		ratio := math.NaN()
+		if old.NsPerOp > 0 {
+			ratio = float64(now.NsPerOp) / float64(old.NsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "ok   %-24s ns/op %.2fx of baseline (info only), allocs/op %d vs %d\n",
+			old.Name, ratio, now.AllocsPerOp, old.AllocsPerOp)
+	}
+	for name := range curByName {
+		fmt.Fprintf(os.Stderr, "note %s: new benchmark, not in baseline\n", name)
+	}
+	if ok {
+		fmt.Fprintln(os.Stderr, "otbench: comparison PASSED")
+	} else {
+		fmt.Fprintln(os.Stderr, "otbench: comparison FAILED")
+	}
+	return ok
 }

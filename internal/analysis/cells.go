@@ -1,0 +1,34 @@
+package analysis
+
+import "repro/internal/par"
+
+// An experiment is a grid of independent (network, N) cells: each
+// builds its own machine, generates its own workload from the shared
+// deterministic seed, runs, verifies and prices one configuration.
+// Nothing is shared between cells, so they are free to run on
+// concurrent host goroutines; runCells executes them under a bounded
+// group and assembles the rows by cell index, keeping the emitted
+// Experiment row order — and every simulated quantity — identical to
+// the sequential sweep. (Workloads are regenerated inside each cell
+// rather than hoisted per N precisely so no cell mutates state
+// another reads.)
+func runCells(cells []func() (Row, error)) ([]Row, error) {
+	rows := make([]Row, len(cells))
+	var g par.Group
+	g.SetLimit(par.DefaultWorkers())
+	for i, c := range cells {
+		i, c := i, c
+		g.Go(func() error {
+			r, err := c()
+			if err != nil {
+				return err
+			}
+			rows[i] = r
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -52,63 +52,80 @@ func Table1Sorting(ns []int, model vlsi.DelayModel) (*Experiment, error) {
 			"scan-ambiguous claim entries reconstructed from the prose: mesh Θ(√N) time, CCC Θ(log³ N) under log-delay",
 		},
 	}
+	var cells []func() (Row, error)
 	for _, n := range ns {
+		n := n
 		cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(n), Model: model}
-		xs := workload.NewRNG(seed + uint64(n)).Perm(n)
+		perm := func() []int64 { return workload.NewRNG(seed + uint64(n)).Perm(n) }
 
-		mm, err := mesh.New(meshSide(n), cfg)
-		if err != nil {
-			return nil, err
-		}
-		sortedM, tM := mm.ShearSort(xs, 0)
-		if err := checkSorted(sortedM, n); err != nil {
-			return nil, fmt.Errorf("mesh: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "mesh", N: n, Area: mm.Area(), Time: tM, Claim: claims["mesh"]})
+		cells = append(cells, func() (Row, error) {
+			mm, err := mesh.New(meshSide(n), cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			sorted, t := mm.ShearSort(perm(), 0)
+			if err := checkSorted(sorted, n); err != nil {
+				return Row{}, fmt.Errorf("mesh: %w", err)
+			}
+			return Row{Network: "mesh", N: n, Area: mm.Area(), Time: t, Claim: claims["mesh"]}, nil
+		})
 
-		pm, err := psn.New(n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		sortedP, tP := pm.BitonicSort(xs, 0)
-		if err := checkSorted(sortedP, n); err != nil {
-			return nil, fmt.Errorf("psn: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "psn", N: n, Area: pm.Area(), Time: tP, Claim: claims["psn"]})
+		cells = append(cells, func() (Row, error) {
+			pm, err := psn.New(n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			sorted, t := pm.BitonicSort(perm(), 0)
+			if err := checkSorted(sorted, n); err != nil {
+				return Row{}, fmt.Errorf("psn: %w", err)
+			}
+			return Row{Network: "psn", N: n, Area: pm.Area(), Time: t, Claim: claims["psn"]}, nil
+		})
 
-		cm, err := ccc.New(n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		sortedC, tC := cm.BitonicSort(xs, 0)
-		if err := checkSorted(sortedC, n); err != nil {
-			return nil, fmt.Errorf("ccc: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "ccc", N: n, Area: cm.Area(), Time: tC, Claim: claims["ccc"]})
+		cells = append(cells, func() (Row, error) {
+			cm, err := ccc.New(n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			sorted, t := cm.BitonicSort(perm(), 0)
+			if err := checkSorted(sorted, n); err != nil {
+				return Row{}, fmt.Errorf("ccc: %w", err)
+			}
+			return Row{Network: "ccc", N: n, Area: cm.Area(), Time: t, Claim: claims["ccc"]}, nil
+		})
 
-		om, err := core.New(n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		sortedO, tO := sorting.SortOTN(om, xs, 0)
-		if err := checkSorted(sortedO, n); err != nil {
-			return nil, fmt.Errorf("otn: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otn", N: n, Area: om.Area(), Time: tO, Claim: claims["otn"]})
+		cells = append(cells, func() (Row, error) {
+			om, err := core.New(n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			sorted, t := sorting.SortOTN(om, perm(), 0)
+			if err := checkSorted(sorted, n); err != nil {
+				return Row{}, fmt.Errorf("otn: %w", err)
+			}
+			return Row{Network: "otn", N: n, Area: om.Area(), Time: t, Claim: claims["otn"]}, nil
+		})
 
 		if id == "Table I" { // Section VII-D: no OTC under constant delay
-			l := cycleLenFor(n)
-			tm, err := otc.New(n/l, l, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sortedT, tT := otc.SortOTC(tm, xs, 0)
-			if err := checkSorted(sortedT, n); err != nil {
-				return nil, fmt.Errorf("otc: %w", err)
-			}
-			e.Rows = append(e.Rows, Row{Network: "otc", N: n, Area: tm.Area(), Time: tT, Claim: claims["otc"]})
+			cells = append(cells, func() (Row, error) {
+				l := cycleLenFor(n)
+				tm, err := otc.New(n/l, l, cfg)
+				if err != nil {
+					return Row{}, err
+				}
+				sorted, t := otc.SortOTC(tm, perm(), 0)
+				if err := checkSorted(sorted, n); err != nil {
+					return Row{}, fmt.Errorf("otc: %w", err)
+				}
+				return Row{Network: "otc", N: n, Area: tm.Area(), Time: t, Claim: claims["otc"]}, nil
+			})
 		}
 	}
+	rows, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = rows
 	return e, nil
 }
 
@@ -134,65 +151,92 @@ func Table2BoolMatMul(ns []int) (*Experiment, error) {
 			"otc row uses the Section VI block emulation (cycle length a power of two); the paper's Boolean-specialized OTC additionally shrinks area by log² N",
 		},
 	}
+	var cells []func() (Row, error)
 	for _, n := range ns {
-		rng := workload.NewRNG(seed + uint64(n))
-		a := rng.BoolMatrix(n, 0.4)
-		b := rng.BoolMatrix(n, 0.4)
-		want := matrix.RefBoolMatMul(a, b)
+		n := n
+		// Each cell regenerates the operands from the deterministic
+		// seed; BoolMatrix draws a then b, so the pair is identical to
+		// the hoisted version.
+		operands := func() (a, b, want [][]int64) {
+			rng := workload.NewRNG(seed + uint64(n))
+			a = rng.BoolMatrix(n, 0.4)
+			b = rng.BoolMatrix(n, 0.4)
+			return a, b, matrix.RefBoolMatMul(a, b)
+		}
 
-		cfgN := vlsi.DefaultConfig(n * n)
-		mm, err := mesh.New(n, vlsi.Config{WordBits: 2, Model: cfgN.Model})
-		if err != nil {
-			return nil, err
-		}
-		cM, tM := mm.CannonMatMul(a, b, true, 0)
-		if err := checkMat(cM, want); err != nil {
-			return nil, fmt.Errorf("mesh: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "mesh", N: n, Area: mm.Area(), Time: tM, Claim: BoolMatMulClaims["mesh"]})
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			cfgN := vlsi.DefaultConfig(n * n)
+			mm, err := mesh.New(n, vlsi.Config{WordBits: 2, Model: cfgN.Model})
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := mm.CannonMatMul(a, b, true, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("mesh: %w", err)
+			}
+			return Row{Network: "mesh", N: n, Area: mm.Area(), Time: t, Claim: BoolMatMulClaims["mesh"]}, nil
+		})
 
-		cfgCube := vlsi.DefaultConfig(n * n * n)
-		pm, err := psn.New(n*n*n, cfgCube)
-		if err != nil {
-			return nil, err
-		}
-		cP, tP := pm.DNSMatMul(a, b, true, 0)
-		if err := checkMat(cP, want); err != nil {
-			return nil, fmt.Errorf("psn: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "psn", N: n, Area: pm.Area(), Time: tP, Claim: BoolMatMulClaims["psn"]})
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			pm, err := psn.New(n*n*n, vlsi.DefaultConfig(n*n*n))
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := pm.DNSMatMul(a, b, true, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("psn: %w", err)
+			}
+			return Row{Network: "psn", N: n, Area: pm.Area(), Time: t, Claim: BoolMatMulClaims["psn"]}, nil
+		})
 
-		cm, err := ccc.New(n*n*n, cfgCube)
-		if err != nil {
-			return nil, err
-		}
-		cC, tC := matrix.DNSSchedule(a, b, true, cfgCube.WordBits, cm.DimTime, 0)
-		if err := checkMat(cC, want); err != nil {
-			return nil, fmt.Errorf("ccc: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "ccc", N: n, Area: cm.Area(), Time: tC, Claim: BoolMatMulClaims["ccc"]})
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			cfgCube := vlsi.DefaultConfig(n * n * n)
+			cm, err := ccc.New(n*n*n, cfgCube)
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := matrix.DNSSchedule(a, b, true, cfgCube.WordBits, cm.DimTime, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("ccc: %w", err)
+			}
+			return Row{Network: "ccc", N: n, Area: cm.Area(), Time: t, Claim: BoolMatMulClaims["ccc"]}, nil
+		})
 
-		om, err := matrix.BigMachine(n, vlsi.LogDelay{})
-		if err != nil {
-			return nil, err
-		}
-		cO, tO := matrix.BigMatMul(om, a, b, true, 0)
-		if err := checkMat(cO, want); err != nil {
-			return nil, fmt.Errorf("otn: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otn", N: n, Area: om.Area(), Time: tO, Claim: BoolMatMulClaims["otn"]})
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			om, err := matrix.BigMachine(n, vlsi.LogDelay{})
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := matrix.BigMatMul(om, a, b, true, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("otn: %w", err)
+			}
+			return Row{Network: "otn", N: n, Area: om.Area(), Time: t, Claim: BoolMatMulClaims["otn"]}, nil
+		})
 
-		l := cycleLenFor(n * n)
-		tm, err := otc.NewEmulatedOTN(n*n, l, vlsi.DefaultConfig(n*n))
-		if err != nil {
-			return nil, err
-		}
-		cT, tT := matrix.BigMatMul(tm, a, b, true, 0)
-		if err := checkMat(cT, want); err != nil {
-			return nil, fmt.Errorf("otc: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otc", N: n, Area: tm.Area(), Time: tT, Claim: BoolMatMulClaims["otc"]})
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			l := cycleLenFor(n * n)
+			tm, err := otc.NewEmulatedOTN(n*n, l, vlsi.DefaultConfig(n*n))
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := matrix.BigMatMul(tm, a, b, true, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("otc: %w", err)
+			}
+			return Row{Network: "otc", N: n, Area: tm.Area(), Time: t, Claim: BoolMatMulClaims["otc"]}, nil
+		})
 	}
+	rows, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = rows
 	return e, nil
 }
 
@@ -218,88 +262,112 @@ func Table3Components(ns []int) (*Experiment, error) {
 			"psn/ccc run CONNECT as a hypercube program with per-dimension costs priced by the host network (shuffle cycles / CCC rotations and cube wires); sweeps amortize the PSN's address-bit rotation",
 		},
 	}
+	var cells []func() (Row, error)
 	for _, n := range ns {
-		g := workload.NewRNG(seed+uint64(n)).Gnp(n, 2.0/float64(n))
-		want := graph.RefComponents(g)
-		adj := make([][]int64, n)
-		for i := range adj {
-			adj[i] = make([]int64, n)
-			for j := range adj[i] {
-				if g.Adj[i][j] {
-					adj[i][j] = 1
+		n := n
+		cfg := vlsi.DefaultConfig(n * n)
+		gen := func() (*workload.Graph, [][]int64, []int64) {
+			g := workload.NewRNG(seed+uint64(n)).Gnp(n, 2.0/float64(n))
+			adj := make([][]int64, n)
+			for i := range adj {
+				adj[i] = make([]int64, n)
+				for j := range adj[i] {
+					if g.Adj[i][j] {
+						adj[i][j] = 1
+					}
 				}
 			}
+			return g, adj, graph.RefComponents(g)
 		}
-		cfg := vlsi.DefaultConfig(n * n)
 
-		mm, err := mesh.New(n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		labM, tM := mm.ConnectedComponents(adj, 0)
-		if !graph.SamePartition(labM, want) {
-			return nil, fmt.Errorf("mesh components wrong at n=%d", n)
-		}
-		e.Rows = append(e.Rows, Row{Network: "mesh", N: n, Area: mm.Area(), Time: tM, Claim: ComponentsClaims["mesh"]})
+		cells = append(cells, func() (Row, error) {
+			_, adj, want := gen()
+			mm, err := mesh.New(n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			lab, t := mm.ConnectedComponents(adj, 0)
+			if !graph.SamePartition(lab, want) {
+				return Row{}, fmt.Errorf("mesh components wrong at n=%d", n)
+			}
+			return Row{Network: "mesh", N: n, Area: mm.Area(), Time: t, Claim: ComponentsClaims["mesh"]}, nil
+		})
 
 		// PSN/CCC: CONNECT on N² processors, executed as a hypercube
 		// program (internal/cube) with each dimension step priced by
 		// the host network — a shuffle cycle on the PSN, a cycle
 		// rotation or cube wire on the CCC.
 		w := vlsi.WordBitsFor(n * n)
-		pm, err := psn.New(n*n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cubePSN, err := cube.New(n*n, w, func(int) vlsi.Time { return pm.ShuffleTime() })
-		if err != nil {
-			return nil, err
-		}
-		cubePSN.LoadAdjacency(adj)
-		labP, tPSN := cubePSN.Connect(n, 0)
-		if !graph.SamePartition(labP, want) {
-			return nil, fmt.Errorf("psn components wrong at n=%d", n)
-		}
-		e.Rows = append(e.Rows, Row{Network: "psn", N: n, Area: layout.PSNArea(n*n, w), Time: tPSN, Claim: ComponentsClaims["psn"]})
+		cells = append(cells, func() (Row, error) {
+			_, adj, want := gen()
+			pm, err := psn.New(n*n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			cubePSN, err := cube.New(n*n, w, func(int) vlsi.Time { return pm.ShuffleTime() })
+			if err != nil {
+				return Row{}, err
+			}
+			cubePSN.LoadAdjacency(adj)
+			lab, t := cubePSN.Connect(n, 0)
+			if !graph.SamePartition(lab, want) {
+				return Row{}, fmt.Errorf("psn components wrong at n=%d", n)
+			}
+			return Row{Network: "psn", N: n, Area: layout.PSNArea(n*n, w), Time: t, Claim: ComponentsClaims["psn"]}, nil
+		})
 
-		cm, err := ccc.New(n*n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cubeCCC, err := cube.New(n*n, w, cm.DimTime)
-		if err != nil {
-			return nil, err
-		}
-		cubeCCC.LoadAdjacency(adj)
-		labC, tCCC := cubeCCC.Connect(n, 0)
-		if !graph.SamePartition(labC, want) {
-			return nil, fmt.Errorf("ccc components wrong at n=%d", n)
-		}
-		e.Rows = append(e.Rows, Row{Network: "ccc", N: n, Area: layout.CCCArea(n*n, w), Time: tCCC, Claim: ComponentsClaims["ccc"]})
+		cells = append(cells, func() (Row, error) {
+			_, adj, want := gen()
+			cm, err := ccc.New(n*n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			cubeCCC, err := cube.New(n*n, w, cm.DimTime)
+			if err != nil {
+				return Row{}, err
+			}
+			cubeCCC.LoadAdjacency(adj)
+			lab, t := cubeCCC.Connect(n, 0)
+			if !graph.SamePartition(lab, want) {
+				return Row{}, fmt.Errorf("ccc components wrong at n=%d", n)
+			}
+			return Row{Network: "ccc", N: n, Area: layout.CCCArea(n*n, w), Time: t, Claim: ComponentsClaims["ccc"]}, nil
+		})
 
-		om, err := core.New(n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		graph.LoadGraph(om, g)
-		labO, tO := graph.ConnectedComponents(om, 0)
-		if !graph.SamePartition(labO, want) {
-			return nil, fmt.Errorf("otn components wrong at n=%d", n)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otn", N: n, Area: om.Area(), Time: tO, Claim: ComponentsClaims["otn"]})
+		cells = append(cells, func() (Row, error) {
+			g, _, want := gen()
+			om, err := core.New(n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			graph.LoadGraph(om, g)
+			lab, t := graph.ConnectedComponents(om, 0)
+			if !graph.SamePartition(lab, want) {
+				return Row{}, fmt.Errorf("otn components wrong at n=%d", n)
+			}
+			return Row{Network: "otn", N: n, Area: om.Area(), Time: t, Claim: ComponentsClaims["otn"]}, nil
+		})
 
-		l := cycleLenFor(n)
-		tm, err := otc.NewEmulatedOTN(n, l, cfg)
-		if err != nil {
-			return nil, err
-		}
-		graph.LoadGraph(tm, g)
-		labT, tT := graph.ConnectedComponents(tm, 0)
-		if !graph.SamePartition(labT, want) {
-			return nil, fmt.Errorf("otc components wrong at n=%d", n)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otc", N: n, Area: tm.Area(), Time: tT, Claim: ComponentsClaims["otc"]})
+		cells = append(cells, func() (Row, error) {
+			g, _, want := gen()
+			l := cycleLenFor(n)
+			tm, err := otc.NewEmulatedOTN(n, l, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			graph.LoadGraph(tm, g)
+			lab, t := graph.ConnectedComponents(tm, 0)
+			if !graph.SamePartition(lab, want) {
+				return Row{}, fmt.Errorf("otc components wrong at n=%d", n)
+			}
+			return Row{Network: "otc", N: n, Area: tm.Area(), Time: t, Claim: ComponentsClaims["otc"]}, nil
+		})
 	}
+	rows, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = rows
 	return e, nil
 }
 
@@ -311,34 +379,48 @@ func MSTExperiment(ns []int) (*Experiment, error) {
 		ID:    "§I/§VI (MST)",
 		Title: "minimum spanning tree of a weighted N-vertex graph",
 	}
+	var cells []func() (Row, error)
 	for _, n := range ns {
-		w := workload.NewRNG(seed + uint64(n)).WeightMatrix(n)
-		wantW, wantE := graph.RefMST(w)
+		n := n
 		cfg := vlsi.DefaultConfig(n * n)
+		weights := func() [][]int64 { return workload.NewRNG(seed + uint64(n)).WeightMatrix(n) }
 
-		om, err := core.New(n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		graph.LoadWeights(om, w)
-		edges, tO := graph.MinSpanningTree(om, 0)
-		if err := checkMST(edges, wantW, wantE); err != nil {
-			return nil, fmt.Errorf("otn n=%d: %w", n, err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otn", N: n, Area: om.Area(), Time: tO, Claim: MSTClaims["otn"]})
+		cells = append(cells, func() (Row, error) {
+			w := weights()
+			wantW, wantE := graph.RefMST(w)
+			om, err := core.New(n, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			graph.LoadWeights(om, w)
+			edges, t := graph.MinSpanningTree(om, 0)
+			if err := checkMST(edges, wantW, wantE); err != nil {
+				return Row{}, fmt.Errorf("otn n=%d: %w", n, err)
+			}
+			return Row{Network: "otn", N: n, Area: om.Area(), Time: t, Claim: MSTClaims["otn"]}, nil
+		})
 
-		l := cycleLenFor(n)
-		tm, err := otc.NewEmulatedOTN(n, l, cfg)
-		if err != nil {
-			return nil, err
-		}
-		graph.LoadWeights(tm, w)
-		edgesT, tT := graph.MinSpanningTree(tm, 0)
-		if err := checkMST(edgesT, wantW, wantE); err != nil {
-			return nil, fmt.Errorf("otc n=%d: %w", n, err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otc", N: n, Area: tm.Area(), Time: tT, Claim: MSTClaims["otc"]})
+		cells = append(cells, func() (Row, error) {
+			w := weights()
+			wantW, wantE := graph.RefMST(w)
+			l := cycleLenFor(n)
+			tm, err := otc.NewEmulatedOTN(n, l, cfg)
+			if err != nil {
+				return Row{}, err
+			}
+			graph.LoadWeights(tm, w)
+			edges, t := graph.MinSpanningTree(tm, 0)
+			if err := checkMST(edges, wantW, wantE); err != nil {
+				return Row{}, fmt.Errorf("otc n=%d: %w", n, err)
+			}
+			return Row{Network: "otc", N: n, Area: tm.Area(), Time: t, Claim: MSTClaims["otc"]}, nil
+		})
 	}
+	rows, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = rows
 	return e, nil
 }
 
@@ -416,34 +498,49 @@ func MatMul3DStudy(ns []int) (*Experiment, error) {
 			"Leighton's figures (area N⁴, time log N, A·T² N⁴ log² N) are for word-parallel links; bit-serial operation adds the same log factor both arrangements pay",
 		},
 	}
+	var cells []func() (Row, error)
 	for _, n := range ns {
-		rng := workload.NewRNG(seed + uint64(n))
-		a := rng.BoolMatrix(n, 0.4)
-		b := rng.BoolMatrix(n, 0.4)
-		want := matrix.RefBoolMatMul(a, b)
+		n := n
+		operands := func() (a, b, want [][]int64) {
+			rng := workload.NewRNG(seed + uint64(n))
+			a = rng.BoolMatrix(n, 0.4)
+			b = rng.BoolMatrix(n, 0.4)
+			return a, b, matrix.RefBoolMatMul(a, b)
+		}
 
-		om, err := matrix.BigMachine(n, vlsi.LogDelay{})
-		if err != nil {
-			return nil, err
-		}
-		c2, t2 := matrix.BigMatMul(om, a, b, true, 0)
-		if err := checkMat(c2, want); err != nil {
-			return nil, fmt.Errorf("otn-2d: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{Network: "otn-2d", N: n, Area: om.Area(), Time: t2, Claim: BoolMatMulClaims["otn"]})
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			om, err := matrix.BigMachine(n, vlsi.LogDelay{})
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := matrix.BigMatMul(om, a, b, true, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("otn-2d: %w", err)
+			}
+			return Row{Network: "otn-2d", N: n, Area: om.Area(), Time: t, Claim: BoolMatMulClaims["otn"]}, nil
+		})
 
-		m3, err := mot3d.New(n, vlsi.DefaultConfig(n*n*n))
-		if err != nil {
-			return nil, err
-		}
-		c3, t3 := m3.MatMul(a, b, true, 0)
-		if err := checkMat(c3, want); err != nil {
-			return nil, fmt.Errorf("mot3d: %w", err)
-		}
-		e.Rows = append(e.Rows, Row{
-			Network: "mot3d", N: n, Area: m3.Area(), Time: t3,
-			Claim: Claim{Area: vlsi.Poly(4, 0), Time: vlsi.Poly(0, 1), AT2: vlsi.Poly(4, 2)},
+		cells = append(cells, func() (Row, error) {
+			a, b, want := operands()
+			m3, err := mot3d.New(n, vlsi.DefaultConfig(n*n*n))
+			if err != nil {
+				return Row{}, err
+			}
+			c, t := m3.MatMul(a, b, true, 0)
+			if err := checkMat(c, want); err != nil {
+				return Row{}, fmt.Errorf("mot3d: %w", err)
+			}
+			return Row{
+				Network: "mot3d", N: n, Area: m3.Area(), Time: t,
+				Claim: Claim{Area: vlsi.Poly(4, 0), Time: vlsi.Poly(0, 1), AT2: vlsi.Poly(4, 2)},
+			}, nil
 		})
 	}
+	rows, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	e.Rows = rows
 	return e, nil
 }

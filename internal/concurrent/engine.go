@@ -107,6 +107,15 @@ type Engine struct {
 	// watchdog bounds the wall-clock wait for an operation to drain;
 	// 0 disables it.
 	watchdog time.Duration
+
+	// chans, rootCh and hasWord are the engine's per-operation
+	// scratch, reused across operations (the Engine is documented
+	// single-operation-at-a-time, so no locking). Channels are only
+	// reused when empty — a wedged operation can leave undelivered
+	// words behind, and those must not leak into the next operation.
+	chans   []chan msg
+	rootCh  chan msg
+	hasWord []bool
 }
 
 // New builds an engine over a measured tree geometry.
@@ -172,6 +181,39 @@ func (e *Engine) dropped(v int) bool {
 	return e.blind.EdgeDead(v) || e.blind.IPDead(v/2) || e.blind.IPDead(v)
 }
 
+// edgeChans returns the per-edge channel array (indexed by the child
+// node of each edge) for one operation, recycling channels from
+// earlier operations. A cached channel is reused only when it is
+// empty and holds at least bufCap words; anything else — including a
+// channel a wedged operation left a stale word in — is replaced. All
+// goroutines of the previous operation have exited by the time
+// supervise returns, so nothing else can touch a cached channel.
+// Buffering beyond the operation's message count is harmless: arrival
+// times ride in the words themselves, and senders were already
+// guaranteed never to block.
+func (e *Engine) edgeChans(bufCap int) []chan msg {
+	n := 2 * e.geom.K
+	if len(e.chans) != n {
+		e.chans = make([]chan msg, n)
+	}
+	ch := e.chans
+	for v := 2; v < n; v++ {
+		if c := ch[v]; c == nil || cap(c) < bufCap || len(c) != 0 {
+			ch[v] = make(chan msg, bufCap)
+		}
+	}
+	return ch
+}
+
+// rootChan returns the root result channel under the same recycling
+// rule as edgeChans.
+func (e *Engine) rootChan(bufCap int) chan msg {
+	if c := e.rootCh; c == nil || cap(c) < bufCap || len(c) != 0 {
+		e.rootCh = make(chan msg, bufCap)
+	}
+	return e.rootCh
+}
+
 // Broadcast runs a root-to-leaves flood with one goroutine per
 // internal node. It returns the value received at each leaf and the
 // time each leaf's last bit arrived (tree.Unreached for leaves cut
@@ -187,10 +229,7 @@ func (e *Engine) Broadcast(ctx context.Context, val int64, rel vlsi.Time) (vals 
 		return vals, times, nil // announced root death: nothing moves
 	}
 	// Down-channels indexed by the child node of each edge.
-	ch := make([]chan msg, 2*k)
-	for v := 2; v < 2*k; v++ {
-		ch[v] = make(chan msg, 1)
-	}
+	ch := e.edgeChans(1)
 	var mu sync.Mutex
 	err = e.supervise(ctx, "Broadcast", func(h *harness) {
 		// One goroutine per live internal node: receive from parent,
@@ -260,8 +299,12 @@ func (e *Engine) Reduce(ctx context.Context, vals []int64, rels []vlsi.Time, op 
 		return 0, 0, &CombineError{Op: op}
 	}
 	// hasWord mirrors tree.reduceOnce: a cut leaf contributes no
-	// word; an IP produces one when either child does.
-	hasWord := make([]bool, 2*k)
+	// word; an IP produces one when either child does. Reused across
+	// operations; every entry in [1, 2k) is rewritten below.
+	if len(e.hasWord) != 2*k {
+		e.hasWord = make([]bool, 2*k)
+	}
+	hasWord := e.hasWord
 	for j := 0; j < k; j++ {
 		hasWord[k+j] = !e.cut(k + j)
 	}
@@ -271,11 +314,8 @@ func (e *Engine) Reduce(ctx context.Context, vals []int64, rels []vlsi.Time, op 
 	if !hasWord[1] || e.cut(1) {
 		return 0, tree.Unreached, nil
 	}
-	ch := make([]chan msg, 2*k)
-	for v := 2; v < 2*k; v++ {
-		ch[v] = make(chan msg, 1)
-	}
-	rootCh := make(chan msg, 1)
+	ch := e.edgeChans(1)
+	rootCh := e.rootChan(1)
 	for j := 0; j < k; j++ {
 		if hasWord[k+j] && !e.dropped(k+j) {
 			ch[k+j] <- msg{val: vals[j], head: rels[j] + e.first[k+j]}
@@ -365,10 +405,7 @@ func (e *Engine) PipelineBroadcast(ctx context.Context, vals []int64, rels []vls
 	}
 	k := e.geom.K
 	m := len(vals)
-	ch := make([]chan msg, 2*k)
-	for v := 2; v < 2*k; v++ {
-		ch[v] = make(chan msg, m)
-	}
+	ch := e.edgeChans(m)
 	leafVals = make([][]int64, m)
 	leafTimes := make([][]vlsi.Time, m)
 	for i := range leafVals {
@@ -464,11 +501,8 @@ func (e *Engine) PipelineReduce(ctx context.Context, vals [][]int64, rels []vlsi
 			return nil, nil, &ArityError{Op: "PipelineReduce", Got: len(vals[i]), Want: k}
 		}
 	}
-	ch := make([]chan msg, 2*k)
-	for v := 2; v < 2*k; v++ {
-		ch[v] = make(chan msg, m)
-	}
-	rootCh := make(chan msg, m)
+	ch := e.edgeChans(m)
+	rootCh := e.rootChan(m)
 	err = e.supervise(ctx, "PipelineReduce", func(h *harness) {
 		// Leaves: inject their words in release order, respecting their
 		// own parent-edge drain times.

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vlsi"
+)
+
+// The paper's programs issue Θ(K) primitive calls per ParDo step and
+// Θ(K log K) steps per run, so per-call garbage on these paths turns
+// directly into GC pressure at sweep sizes. After the flat-bank and
+// scratch-arena work the healthy (non-faulty) primitives run
+// allocation-free; these tests pin that so a regression shows up as a
+// test failure, not as a slow sweep.
+
+func requireAllocs(t *testing.T, op string, want float64, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(100, f); got > want {
+		t.Errorf("%s: %.1f allocs/op, want <= %.0f", op, got, want)
+	}
+}
+
+func TestPrimitivesAllocationFree(t *testing.T) {
+	m, err := NewDefault(64, 64*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetHostWorkers(1)
+	vec := Vector{IsRow: true}
+	m.Set("A", 0, 5, 42)
+	sel := One(5)
+	perm := make([]int, m.K)
+	for i := range perm {
+		perm[i] = (i + 7) % m.K
+	}
+	asc := func(int) bool { return true }
+	// Touch both registers once so the banks exist before measuring.
+	m.LeafToLeaf(vec, sel, "A", All, "B", 0)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	requireAllocs(t, "RootToLeaf", 0, func() { m.Reset(); m.RootToLeaf(vec, nil, "A", 0) })
+	requireAllocs(t, "LeafToRoot", 0, func() { m.Reset(); m.LeafToRoot(vec, sel, "A", 0) })
+	requireAllocs(t, "LeafToLeaf", 0, func() { m.Reset(); m.LeafToLeaf(vec, sel, "A", All, "B", 0) })
+	requireAllocs(t, "CountLeafToRoot", 0, func() { m.Reset(); m.CountLeafToRoot(vec, "F", 0) })
+	requireAllocs(t, "SumLeafToRoot", 0, func() { m.Reset(); m.SumLeafToRoot(vec, All, "A", 0) })
+	requireAllocs(t, "MinLeafToRoot", 0, func() { m.Reset(); m.MinLeafToRoot(vec, All, "A", 0) })
+	requireAllocs(t, "CompareExchange", 0, func() { m.Reset(); m.CompareExchange(vec, 8, "A", asc, 0) })
+	// PermuteVector draws its cycle-tracking scratch from a pool; the
+	// pool itself may repopulate occasionally, hence the slack of 1.
+	requireAllocs(t, "PermuteVector", 1, func() { m.Reset(); m.PermuteVector(vec, perm, "A", "B", 0) })
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A full sequential ParDo sweep over K rows costs one allocation (the
+// body closure), not Θ(K): the per-row primitives inside stay free.
+func TestParDoSweepAllocations(t *testing.T) {
+	m, err := NewDefault(64, 64*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetHostWorkers(1)
+	sel := One(5)
+	m.Set("A", 0, 5, 1)
+	requireAllocs(t, "ParDo(LeafToRoot)", 1, func() {
+		m.Reset()
+		m.ParDo(true, 0, func(v Vector, rel vlsi.Time) vlsi.Time {
+			return m.LeafToRoot(v, sel, "A", rel)
+		})
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,9 +21,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/layout"
+	"repro/internal/par"
 	"repro/internal/tree"
 	"repro/internal/vlsi"
 )
@@ -88,29 +91,42 @@ func Range(lo, hi int) Sel { return func(k int) bool { return k >= lo && k < hi 
 // Even matches even positions (the paper's "j : j is even" example).
 func Even(k int) bool { return k%2 == 0 }
 
-// Not inverts a selector (nil meaning "all" inverts to "none").
+// None selects no position.
+func None(int) bool { return false }
+
+// Not inverts a selector (nil meaning "all" inverts to "none"). The
+// nil case is resolved here, at combine time, rather than per element
+// inside the primitives' K-length loops.
 func Not(s Sel) Sel {
-	return func(k int) bool {
-		if s == nil {
-			return false
-		}
-		return !s(k)
+	if s == nil {
+		return None
 	}
+	return func(k int) bool { return !s(k) }
 }
 
-// And intersects selectors (nil operands mean "all").
+// And intersects selectors (nil operands mean "all"). Nil operands
+// are dropped at combine time, so the common one-sided cases return
+// the other operand unchanged — no closure, no per-element nil test.
 func And(a, b Sel) Sel {
-	return func(k int) bool {
-		return (a == nil || a(k)) && (b == nil || b(k))
+	if a == nil {
+		if b == nil {
+			return All
+		}
+		return b
 	}
+	if b == nil {
+		return a
+	}
+	return func(k int) bool { return a(k) && b(k) }
 }
 
 // Or unions selectors (a nil operand means "all", so the union is
 // "all").
 func Or(a, b Sel) Sel {
-	return func(k int) bool {
-		return a == nil || b == nil || a(k) || b(k)
+	if a == nil || b == nil {
+		return All
 	}
+	return func(k int) bool { return a(k) || b(k) }
 }
 
 // Router is the communication service of one row or column tree. The
@@ -164,19 +180,51 @@ type Machine struct {
 
 	rows, cols []Router
 	area       vlsi.Area
-	regs       map[Reg][][]int64
-	rowRoot    []int64
-	colRoot    []int64
+
+	// regs holds the register banks behind an atomic copy-on-write
+	// map[Reg][]int64: each bank is one contiguous row-major K×K
+	// slice (BP(i,j) at index i*K+j), so a row sweep is unit-stride
+	// and a column sweep a single constant stride — and the read path
+	// (bank) is a lock-free atomic load, safe under ParDo's worker
+	// pool. regMu serializes the rare grow path that installs a new
+	// bank.
+	regs  atomic.Pointer[map[Reg][]int64]
+	regMu sync.Mutex
+
+	rowRoot []int64
+	colRoot []int64
 
 	// Sticky error and fault state (see errors.go, degraded.go).
+	// errMu guards err: parallel ParDo bodies may fail concurrently.
+	errMu  sync.Mutex
 	err    error
 	faulty bool
 	plan   *fault.Plan
 	health *fault.Health
 	stuck  map[[2]int]bool
 
+	// workers is the host worker-pool width for ParDo (0 = one per
+	// CPU); disjointRouters records that every row and column router
+	// owns private state (true for the native OTN constructors, false
+	// for NewWithRouters, whose routers may share hardware — the OTC
+	// emulation shares one physical tree per group, so issue order
+	// through its edge occupancy is part of the simulated timing).
+	workers         int
+	disjointRouters bool
+
+	// permPool recycles PermuteVector's validation/value scratch;
+	// pooled (not a plain field) so concurrent ParDo bodies each get
+	// their own.
+	permPool sync.Pool
+
 	// Tracer, when non-nil, receives one event per primitive.
 	Tracer func(op string, vec Vector, start, end vlsi.Time)
+}
+
+// permScratch is PermuteVector's per-call working set.
+type permScratch struct {
+	seen []bool
+	vals []int64
 }
 
 // NewWithRouters builds a machine whose K row and K column trees are
@@ -192,13 +240,25 @@ func NewWithRouters(k int, cfg vlsi.Config, area vlsi.Area, rows, cols []Router)
 	if len(rows) != k || len(cols) != k {
 		return nil, fmt.Errorf("core: %d row / %d column routers for K=%d", len(rows), len(cols), k)
 	}
-	return &Machine{
+	m := &Machine{
 		K: k, Cfg: cfg, area: area,
 		rows: rows, cols: cols,
-		regs:    make(map[Reg][][]int64),
 		rowRoot: make([]int64, k),
 		colRoot: make([]int64, k),
-	}, nil
+	}
+	m.init()
+	return m, nil
+}
+
+// init finishes construction: empty COW register map and the
+// PermuteVector scratch pool.
+func (m *Machine) init() {
+	empty := make(map[Reg][]int64)
+	m.regs.Store(&empty)
+	k := m.K
+	m.permPool.New = func() any {
+		return &permScratch{seen: make([]bool, k), vals: make([]int64, k)}
+	}
 }
 
 // New builds a (K×K)-OTN under the given configuration. K must be a
@@ -218,10 +278,13 @@ func New(k int, cfg vlsi.Config) (*Machine, error) {
 		area:    geom.Area(),
 		rows:    make([]Router, k),
 		cols:    make([]Router, k),
-		regs:    make(map[Reg][][]int64),
 		rowRoot: make([]int64, k),
 		colRoot: make([]int64, k),
+		// Every row/column tree is private to its vector, so ParDo
+		// may replay vectors on concurrent host workers.
+		disjointRouters: true,
 	}
+	m.init()
 	for i := 0; i < k; i++ {
 		if m.rows[i], err = tree.New(geom.RowTree, cfg); err != nil {
 			return nil, err
@@ -255,16 +318,17 @@ func NewScaled(k int, cfg vlsi.Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		K:       k,
-		Cfg:     cfg,
-		Geom:    geom,
-		area:    geom.Area(),
-		rows:    make([]Router, k),
-		cols:    make([]Router, k),
-		regs:    make(map[Reg][][]int64),
-		rowRoot: make([]int64, k),
-		colRoot: make([]int64, k),
+		K:               k,
+		Cfg:             cfg,
+		Geom:            geom,
+		area:            geom.Area(),
+		rows:            make([]Router, k),
+		cols:            make([]Router, k),
+		rowRoot:         make([]int64, k),
+		colRoot:         make([]int64, k),
+		disjointRouters: true,
 	}
+	m.init()
 	for i := 0; i < k; i++ {
 		if m.rows[i], err = tree.NewScaled(geom.RowTree, cfg); err != nil {
 			return nil, err
@@ -287,21 +351,59 @@ func (m *Machine) WordBits() int { return m.Cfg.WordBits }
 // word occupies a bit-serial resource.
 func (m *Machine) WordTime() vlsi.Time { return vlsi.Time(m.Cfg.WordBits) }
 
-// bank returns (allocating if needed) the storage for a register.
-func (m *Machine) bank(r Reg) [][]int64 {
-	b, ok := m.regs[r]
-	if !ok {
-		b = make([][]int64, m.K)
-		for i := range b {
-			b[i] = make([]int64, m.K)
-		}
-		m.regs[r] = b
+// SetHostWorkers bounds the host worker pool ParDo spreads vector
+// bodies over: n = 1 forces sequential replay, n = 0 restores the
+// default (one worker per CPU). This is host parallelism only — the
+// simulated bit-times are identical for every setting (see ParDo).
+func (m *Machine) SetHostWorkers(n int) {
+	if n < 0 {
+		n = 0
 	}
+	m.workers = n
+}
+
+// hostWorkers resolves the effective worker count.
+func (m *Machine) hostWorkers() int {
+	if m.workers > 0 {
+		return m.workers
+	}
+	return par.DefaultWorkers()
+}
+
+// bank returns (allocating if needed) the storage for a register: one
+// contiguous row-major K×K slice, BP(i,j) at index i*K+j. The fast
+// path is a single atomic load of the COW map — lock-free, so ParDo
+// bodies on concurrent host workers read banks without contention.
+func (m *Machine) bank(r Reg) []int64 {
+	if b, ok := (*m.regs.Load())[r]; ok {
+		return b
+	}
+	return m.growBank(r)
+}
+
+// growBank installs a fresh bank under the machine's register lock,
+// republishing the whole map so concurrent bank readers never observe
+// a map mutation. Each register is installed once per machine
+// lifetime, so the copy cost is irrelevant.
+func (m *Machine) growBank(r Reg) []int64 {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	cur := *m.regs.Load()
+	if b, ok := cur[r]; ok {
+		return b
+	}
+	next := make(map[Reg][]int64, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	b := make([]int64, m.K*m.K)
+	next[r] = b
+	m.regs.Store(&next)
 	return b
 }
 
 // Get reads register r of BP(i, j).
-func (m *Machine) Get(r Reg, i, j int) int64 { return m.bank(r)[i][j] }
+func (m *Machine) Get(r Reg, i, j int) int64 { return m.bank(r)[i*m.K+j] }
 
 // Set writes register r of BP(i, j). A stuck BP's register file is
 // frozen: writes to it are dropped.
@@ -309,15 +411,16 @@ func (m *Machine) Set(r Reg, i, j int, v int64) {
 	if m.stuck != nil && m.stuck[[2]int{i, j}] {
 		return
 	}
-	m.bank(r)[i][j] = v
+	m.bank(r)[i*m.K+j] = v
 }
 
-// at reads register r at position k of a vector.
+// at reads register r at position k of a vector. A row sweep walks
+// the flat bank at unit stride; a column sweep at stride K.
 func (m *Machine) at(r Reg, vec Vector, k int) int64 {
 	if vec.IsRow {
-		return m.bank(r)[vec.Index][k]
+		return m.bank(r)[vec.Index*m.K+k]
 	}
-	return m.bank(r)[k][vec.Index]
+	return m.bank(r)[k*m.K+vec.Index]
 }
 
 // setAt writes register r at position k of a vector, dropping writes
@@ -330,7 +433,7 @@ func (m *Machine) setAt(r Reg, vec Vector, k int, v int64) {
 	if m.stuck != nil && m.stuck[[2]int{i, j}] {
 		return
 	}
-	m.bank(r)[i][j] = v
+	m.bank(r)[i*m.K+j] = v
 }
 
 // RowRoot reads the data register of row tree i (an input port).

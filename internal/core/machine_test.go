@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -259,16 +260,35 @@ func TestCompareExchange(t *testing.T) {
 
 func TestParDo(t *testing.T) {
 	m := testMachine(t, 4)
-	count := 0
+	var count atomic.Int32 // bodies may run on concurrent host workers
 	done := m.ParDo(true, 5, func(vec Vector, rel vlsi.Time) vlsi.Time {
-		count++
+		count.Add(1)
 		return rel + vlsi.Time(vec.Index)
 	})
-	if count != 4 {
-		t.Errorf("ParDo ran %d times", count)
+	if count.Load() != 4 {
+		t.Errorf("ParDo ran %d times", count.Load())
 	}
 	if done != 8 { // rel 5 + max index 3
 		t.Errorf("ParDo completion %d, want 8", done)
+	}
+}
+
+// TestParDoParallelMatchesSequential drives ParDo over the worker
+// pool (K ≥ parDoMinK, explicit worker count) and checks the
+// completion matches the sequential replay exactly. Body completions
+// are a deliberately non-monotone function of the index so a wrong
+// combine order would show.
+func TestParDoParallelMatchesSequential(t *testing.T) {
+	m := testMachine(t, 16)
+	body := func(vec Vector, rel vlsi.Time) vlsi.Time {
+		return rel + vlsi.Time((vec.Index*7)%13)
+	}
+	m.SetHostWorkers(1)
+	seq := m.ParDo(false, 3, body)
+	m.SetHostWorkers(8)
+	par := m.ParDo(false, 3, body)
+	if seq != par {
+		t.Errorf("parallel ParDo completion %d, sequential %d", par, seq)
 	}
 }
 

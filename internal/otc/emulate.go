@@ -40,6 +40,12 @@ type cycleRouter struct {
 	w   vlsi.Time // word time
 	sh  vlsi.Time // one circulate step
 	hop vlsi.Time // per-hop cut-through latency within a cycle
+
+	// per is Broadcast's reusable logical per-leaf buffer (one per
+	// router — the physical tree is shared, this is not). Like
+	// tree.Broadcast's, it is valid until this router's next
+	// operation.
+	per []vlsi.Time
 }
 
 func newCycleRouter(t *tree.Tree, l int, cfg vlsi.Config, cycleEdges []int) *cycleRouter {
@@ -50,6 +56,7 @@ func newCycleRouter(t *tree.Tree, l int, cfg vlsi.Config, cycleEdges []int) *cyc
 		w:   vlsi.Time(cfg.WordBits),
 		sh:  cfg.WireTransit(maxEdge),
 		hop: cfg.Model.FirstBit(maxEdge),
+		per: make([]vlsi.Time, l*t.K()),
 	}
 }
 
@@ -69,7 +76,7 @@ func (c *cycleRouter) Broadcast(rel vlsi.Time) ([]vlsi.Time, vlsi.Time) {
 		if d != tree.Unreached {
 			done = d + vlsi.Time(c.l-1)*c.sh
 		}
-		per := make([]vlsi.Time, c.logicalK())
+		per := c.per
 		for i := range per {
 			if phys[i/c.l] == tree.Unreached {
 				per[i] = tree.Unreached
@@ -80,7 +87,7 @@ func (c *cycleRouter) Broadcast(rel vlsi.Time) ([]vlsi.Time, vlsi.Time) {
 		return per, done
 	}
 	done := d + vlsi.Time(c.l-1)*c.sh
-	per := make([]vlsi.Time, c.logicalK())
+	per := c.per
 	for i := range per {
 		per[i] = done
 	}

@@ -1,0 +1,108 @@
+// Package par provides the bounded host-parallelism primitives the
+// simulator uses to spread independent work across CPU cores: a
+// chunked parallel-for for core.Machine's pardo bodies and an
+// errgroup-style Group for the analysis sweeps.
+//
+// Everything here is HOST parallelism — wall-clock only. The
+// parallelism the paper talks about (every row and column tree
+// operating at once) is SIMULATED, accounted in bit-times, and is
+// completely unaffected by how many host goroutines replay it; see
+// DESIGN.md's "Simulated vs host parallelism" section for the
+// race-freedom argument that makes the two independent.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller asks for 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Do runs f(i) for every i in [0,n) across at most workers host
+// goroutines, splitting the index space into contiguous chunks (one
+// per worker, statically — the per-index work in this codebase is
+// uniform enough that work stealing would buy nothing). workers <= 1
+// or n <= 1 runs inline. Do returns when every call has returned.
+//
+// f must not panic across chunks' goroutine boundaries expecting the
+// caller's recover to see it; bodies in this repository report
+// failure through their machine's sticky error instead.
+func Do(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	// Ceil division so the last chunk is never longer than the rest.
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Group is a bounded-concurrency error group, modelled on
+// golang.org/x/sync/errgroup (which is deliberately not vendored —
+// the module graph stays stdlib-only). Go schedules a task, Wait
+// joins them all and returns the first error.
+type Group struct {
+	wg      sync.WaitGroup
+	sem     chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+// SetLimit bounds the number of concurrently running tasks. It must
+// be called before the first Go. n <= 0 means no limit.
+func (g *Group) SetLimit(n int) {
+	if n <= 0 {
+		g.sem = nil
+		return
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go runs f in a new goroutine, blocking first if the limit is
+// reached. The first non-nil error across all tasks is kept for Wait.
+func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			defer func() { <-g.sem }()
+		}
+		if err := f(); err != nil {
+			g.errOnce.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every task started by Go has returned, then
+// returns the first error any of them produced.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}

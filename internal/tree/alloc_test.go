@@ -1,0 +1,51 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/vlsi"
+)
+
+// The router's steady-state operations run out of the per-Tree
+// scratch arena: after construction, Broadcast, Reduce, ReduceUniform
+// and Route allocate nothing. These tests pin that property so a
+// future change cannot silently reintroduce per-call garbage on the
+// hottest simulator paths (ParDo issues K of these per step).
+
+func requireAllocs(t *testing.T, op string, want float64, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(100, f); got > want {
+		t.Errorf("%s: %.1f allocs/op, want <= %.0f", op, got, want)
+	}
+}
+
+func TestRouterOpsAllocationFree(t *testing.T) {
+	tr := testTree(t, 64, vlsi.LogDelay{})
+	rels := make([]vlsi.Time, tr.K())
+	src, dst := tr.Leaf(0), tr.Leaf(tr.K()-1)
+
+	requireAllocs(t, "Broadcast", 0, func() {
+		tr.Reset()
+		tr.Broadcast(0)
+	})
+	requireAllocs(t, "ReduceUniform", 0, func() {
+		tr.Reset()
+		tr.ReduceUniform(0)
+	})
+	requireAllocs(t, "Reduce", 0, func() {
+		tr.Reset()
+		tr.Reduce(rels)
+	})
+	requireAllocs(t, "Route", 0, func() {
+		tr.Reset()
+		tr.Route(src, dst, 0)
+	})
+	requireAllocs(t, "Gather", 0, func() {
+		tr.Reset()
+		tr.Gather(3, 0)
+	})
+	requireAllocs(t, "ExchangePairs", 0, func() {
+		tr.Reset()
+		tr.ExchangePairs(8, 0)
+	})
+}

@@ -128,7 +128,11 @@ func (t *Tree) RouteChecked(src, dst int, rel vlsi.Time) (vlsi.Time, error) {
 // the flood reaches none (root IP dead).
 func (t *Tree) broadcastFaulty(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time) {
 	k := t.geom.K
-	head := make([]vlsi.Time, 2*k)
+	// Scratch reuse is safe despite the skipped (unreachable) nodes:
+	// a stale head[v] is only ever read for a reachable v, and every
+	// reachable node's head is rewritten before it is read (parents
+	// precede children in the ascending sweep).
+	head := t.scratch.head
 	head[Root] = rel
 	for v := 1; v < k; v++ {
 		if t.unreachable[v] {
@@ -145,7 +149,7 @@ func (t *Tree) broadcastFaulty(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Ti
 			head[c] = t.claim(c, false, h)
 		}
 	}
-	perLeaf = make([]vlsi.Time, k)
+	perLeaf = t.scratch.perLeaf
 	done = Unreached
 	for j := 0; j < k; j++ {
 		if t.unreachable[k+j] {
@@ -167,8 +171,8 @@ func (t *Tree) broadcastFaulty(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Ti
 // leaf exists.
 func (t *Tree) reduceOnce(rel []vlsi.Time) vlsi.Time {
 	k := t.geom.K
-	ready := make([]vlsi.Time, 2*k)
-	hasWord := make([]bool, 2*k)
+	ready := t.scratch.ready
+	hasWord := t.scratch.hasWord
 	for j := 0; j < k; j++ {
 		ready[k+j] = rel[j]
 		hasWord[k+j] = t.unreachable == nil || !t.unreachable[k+j]
@@ -187,6 +191,11 @@ func (t *Tree) reduceOnce(rel []vlsi.Time) vlsi.Time {
 		case hasWord[c2]:
 			ready[v] = t.claim(c2, true, ready[c2]) + t.nodeLatency
 			hasWord[v] = true
+		default:
+			// The buffers are reused across ascents, so a word-less
+			// IP must be cleared explicitly — the old code relied on
+			// make's zero fill here.
+			hasWord[v] = false
 		}
 	}
 	if !hasWord[Root] || (t.unreachable != nil && t.unreachable[Root]) {
@@ -219,7 +228,10 @@ func (t *Tree) reduceFaulty(rel []vlsi.Time) vlsi.Time {
 		}
 		retries++
 		nack, _ := t.Broadcast(done)
-		rel2 := make([]vlsi.Time, len(rel))
+		// rel may alias scratch.rels (via ReduceUniform); redo is a
+		// distinct buffer, and nack (scratch.perLeaf) is consumed in
+		// this loop before the next Broadcast overwrites it.
+		rel2 := t.scratch.redo
 		for j := range rel2 {
 			if nack[j] == Unreached {
 				rel2[j] = rel[j]

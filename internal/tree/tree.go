@@ -52,6 +52,23 @@ type Tree struct {
 	unreachable []bool // node v has no live path to the root
 	cutLeaves   []int  // leaf indices with unreachable[K+j], sorted
 	ascents     uint64 // combining-ascent sequence number
+
+	// scratch holds the per-operation work buffers, sized once in
+	// build and reused on every call so the steady-state router
+	// allocates nothing. A Tree is owned by exactly one simulated
+	// row/column vector, and core.Machine's worker pool hands each
+	// vector to exactly one host goroutine at a time, so the buffers
+	// need no locking. Slices handed back to callers (Broadcast's
+	// perLeaf) are valid only until the tree's next operation; every
+	// caller in this repository consumes them before issuing one.
+	scratch struct {
+		head    []vlsi.Time // 2K: per-node head-arrival (broadcasts)
+		perLeaf []vlsi.Time // K: Broadcast's per-leaf completions
+		ready   []vlsi.Time // 2K: combining-ascent arrival times
+		hasWord []bool      // 2K: reduceOnce live-word flags
+		rels    []vlsi.Time // K: ReduceUniform's fan-out of one rel
+		redo    []vlsi.Time // K: reduceFaulty's post-NACK releases
+	}
 }
 
 // New builds a router over the given measured tree geometry.
@@ -92,6 +109,12 @@ func build(geom *layout.TreeGeom, cfg vlsi.Config, scaled bool) (*Tree, error) {
 			t.first[v] = cfg.Model.FirstBit(geom.EdgeLen[v])
 		}
 	}
+	t.scratch.head = make([]vlsi.Time, 2*geom.K)
+	t.scratch.perLeaf = make([]vlsi.Time, geom.K)
+	t.scratch.ready = make([]vlsi.Time, 2*geom.K)
+	t.scratch.hasWord = make([]bool, 2*geom.K)
+	t.scratch.rels = make([]vlsi.Time, geom.K)
+	t.scratch.redo = make([]vlsi.Time, geom.K)
 	return t, nil
 }
 
@@ -148,8 +171,42 @@ func (t *Tree) claim(v int, up bool, head vlsi.Time) vlsi.Time {
 func (t *Tree) Route(src, dst int, rel vlsi.Time) vlsi.Time {
 	t.checkNode(src)
 	t.checkNode(dst)
-	up, down := pathVia(src, dst)
-	return t.claimPath(up, down, rel)
+	return t.claimRoute(src, dst, rel)
+}
+
+// claimRoute is claimPath without materialising the path: the up leg
+// is claimed during the LCA walk itself (the walk visits its edges in
+// traversal order already), and the down leg — which the walk visits
+// bottom-up but which must be claimed top-down — is buffered on the
+// stack. The claim order and head arithmetic are identical to
+// pathVia + claimPath; this variant exists only to keep the hot
+// routing path free of heap allocation.
+func (t *Tree) claimRoute(src, dst int, rel vlsi.Time) vlsi.Time {
+	// Node indices fit in int64, so a path leg never exceeds 64 hops.
+	var down [64]int
+	nd := 0
+	head := rel
+	firstUp := true
+	a, b := src, dst
+	for a != b {
+		if a > b {
+			if !firstUp {
+				head += t.nodeLatency
+			}
+			firstUp = false
+			head = t.claim(a, true, head)
+			a /= 2
+		} else {
+			down[nd] = b
+			nd++
+			b /= 2
+		}
+	}
+	for i := nd - 1; i >= 0; i-- {
+		head += t.nodeLatency
+		head = t.claim(down[i], false, head)
+	}
+	return head + vlsi.Time(t.cfg.WordBits-1)
 }
 
 // claimPath claims the up-leg and down-leg edges of a routed word in
@@ -201,15 +258,19 @@ func pathVia(src, dst int) (up, down []int) {
 // ignore the data, as the paper's IPs "pick up data from the parent
 // and pass it on to the sons"). rel is the time the word is ready at
 // the root. It returns the per-leaf completion times and the maximum.
+//
+// The returned perLeaf slice is the tree's reusable scratch buffer:
+// it is valid until this tree's next operation and must not be
+// mutated or retained across one.
 func (t *Tree) Broadcast(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time) {
 	if t.faults.Dead() {
 		return t.broadcastFaulty(rel)
 	}
 	k := t.geom.K
-	head := make([]vlsi.Time, 2*k)
+	head := t.scratch.head
 	head[Root] = rel
 	for v := 1; v < k; v++ {
-		for _, c := range []int{2 * v, 2*v + 1} {
+		for _, c := range [2]int{2 * v, 2*v + 1} {
 			h := head[v]
 			if v != Root {
 				h += t.nodeLatency
@@ -217,7 +278,8 @@ func (t *Tree) Broadcast(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time) {
 			head[c] = t.claim(c, false, h)
 		}
 	}
-	perLeaf = make([]vlsi.Time, k)
+	perLeaf = t.scratch.perLeaf
+	done = 0
 	for j := 0; j < k; j++ {
 		perLeaf[j] = head[k+j] + vlsi.Time(t.cfg.WordBits-1)
 		if perLeaf[j] > done {
@@ -250,7 +312,7 @@ func (t *Tree) Reduce(rel []vlsi.Time) vlsi.Time {
 	if t.faults != nil {
 		return t.reduceFaulty(rel)
 	}
-	ready := make([]vlsi.Time, 2*k)
+	ready := t.scratch.ready
 	copy(ready[k:], rel)
 	for v := k - 1; v >= 1; v-- {
 		a := t.claim(2*v, true, ready[2*v])
@@ -262,7 +324,7 @@ func (t *Tree) Reduce(rel []vlsi.Time) vlsi.Time {
 
 // ReduceUniform is Reduce with all leaves releasing at the same time.
 func (t *Tree) ReduceUniform(rel vlsi.Time) vlsi.Time {
-	rels := make([]vlsi.Time, t.geom.K)
+	rels := t.scratch.rels
 	for i := range rels {
 		rels[i] = rel
 	}
