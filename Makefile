@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput ci
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,8 @@ vet:
 # ParDo pool and the analysis sweep's concurrent cells (whose
 # determinism test doubles as the race proof).
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/...
-	$(GO) test -race -run 'Deterministic|Parallel' ./internal/analysis/...
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/...
+	$(GO) test -race -run 'Deterministic|Parallel|Batch' ./internal/analysis/... ./internal/algorithms/sorting/...
 
 # Short fuzz pass over the fault-plan determinism property.
 fuzz:
@@ -34,9 +34,17 @@ bench:
 benchcmp:
 	$(GO) run ./cmd/otbench -compare BENCH.json
 
+# Batched benchmarks only: amortized ns/instance and instances/sec
+# versus the lane count B.
+benchthroughput:
+	$(GO) run ./cmd/otbench -throughput
+
 # One-iteration pass over every benchmark: compile + run smoke, no
-# timing fidelity intended.
+# timing fidelity intended. The explicit SortBatch pass additionally
+# smokes the batched engine with more than one iteration so the
+# lane-reset path runs too.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'SortBatch16' -benchtime 2x .
 
 ci: build vet test race benchsmoke

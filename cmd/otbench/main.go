@@ -24,6 +24,7 @@
 //	otbench -json BENCH.json  # run the bench suite, write the baseline
 //	otbench -compare BENCH.json          # re-run, diff against baseline
 //	otbench -json new.json -compare BENCH.json
+//	otbench -throughput       # batched benchmarks only: instances/sec table
 //	otbench -cpuprofile cpu.pprof -json /dev/null
 package main
 
@@ -55,6 +56,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text | markdown")
 	jsonOut := flag.String("json", "", "run the benchmark suite and write results to this file")
 	compare := flag.String("compare", "", "run the benchmark suite and diff against this baseline file")
+	throughput := flag.Bool("throughput", false, "run only the batched benchmarks and print an instances/sec table")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -71,7 +73,9 @@ func main() {
 	}
 
 	ok := true
-	if *jsonOut != "" || *compare != "" {
+	if *throughput {
+		throughputMode()
+	} else if *jsonOut != "" || *compare != "" {
 		ok = benchMode(*jsonOut, *compare)
 	} else {
 		runTables(*table, *sizes, *mst, *figs, *pipeline, *mot3d, *faultsweep, *format)
@@ -185,6 +189,10 @@ type BenchResult struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Batch is the lane count of a batched benchmark (0 for
+	// single-instance entries). One op services Batch instances, so
+	// the amortized cost is NsPerOp/Batch ns per instance.
+	Batch int `json:"batch,omitempty"`
 	// Simulated holds model outputs (bit-times, λ² area) keyed by
 	// metric name. All are integer-valued; -compare requires exact
 	// equality.
@@ -334,6 +342,123 @@ var suite = []struct {
 	}},
 }
 
+// batchDef is one batched suite entry: its single-instance host cost
+// is NsPerOp/lanes. The lane counts sweep the amortization curve the
+// throughput table reports.
+type batchDef struct {
+	name  string
+	lanes int
+	run   func(b *testing.B, sim simMap)
+}
+
+// batchLanes is the lane sweep of the throughput benchmarks.
+var batchLanes = []int{1, 4, 16, 64}
+
+// batchSuite pairs a TreeBroadcast-class workload (a full ParDo
+// broadcast sweep, timing-uniform so every lane rides the routers'
+// single-traversal fast path) with a Table1Sort-class workload (full
+// SORT-OTN, whose step-5 gather diverges per lane and is routed
+// honestly). Lane 0 of BatchSort runs the same seed-11 permutation as
+// the SortOTN entry, so its recorded bit-times must equal that
+// entry's — and must be identical across every lane count. Both
+// invariants are enforced exactly by -compare.
+var batchSuite = func() []batchDef {
+	var defs []batchDef
+	for _, lanes := range batchLanes {
+		defs = append(defs, batchDef{
+			name:  fmt.Sprintf("BatchBroadcast/K=64/B=%d", lanes),
+			lanes: lanes,
+			run:   batchBroadcastBench(lanes),
+		})
+	}
+	for _, lanes := range batchLanes {
+		defs = append(defs, batchDef{
+			name:  fmt.Sprintf("BatchSort/K=64/B=%d", lanes),
+			lanes: lanes,
+			run:   batchSortBench(lanes),
+		})
+	}
+	return defs
+}()
+
+func batchBroadcastBench(lanes int) func(b *testing.B, sim simMap) {
+	return func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, err := orthotrees.NewBatch(m, lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels := make([]orthotrees.Time, lanes)
+		times := make([]orthotrees.Time, lanes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bb.Reset()
+			bb.ParDo(true, rels, func(vec orthotrees.Vector, r, d []orthotrees.Time) {
+				bb.RootToLeaf(vec, nil, "A", r, d)
+			}, times)
+		}
+		if err := bb.Err(); err != nil {
+			b.Fatal(err)
+		}
+		sim["broadcast-sweep/bit-times"] = float64(times[0])
+	}
+}
+
+func batchSortBench(lanes int) func(b *testing.B, sim simMap) {
+	return func(b *testing.B, sim simMap) {
+		m, err := orthotrees.NewOTN(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, err := orthotrees.NewBatch(m, lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems := make([][]int64, lanes)
+		for p := range problems {
+			problems[p] = orthotrees.NewRNG(uint64(11 + p)).Perm(64)
+		}
+		var times []orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bb.Reset()
+			_, times = orthotrees.SortBatch(bb, problems)
+		}
+		if err := bb.Err(); err != nil {
+			b.Fatal(err)
+		}
+		sim["sort/bit-times"] = float64(times[0])
+	}
+}
+
+// measure runs one benchmark body under testing.Benchmark.
+func measure(name string, lanes int, run func(b *testing.B, sim simMap)) BenchResult {
+	sim := simMap{}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		run(b, sim)
+	})
+	res := BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Batch:       lanes,
+		Simulated:   sim,
+	}
+	extra := ""
+	if lanes > 1 {
+		extra = fmt.Sprintf("  (%d ns/instance)", res.NsPerOp/int64(lanes))
+	}
+	fmt.Fprintf(os.Stderr, "otbench: %-24s %12d ns/op %8d allocs/op %10d B/op%s\n",
+		name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, extra)
+	return res
+}
+
 // runSuite executes every suite entry under testing.Benchmark with
 // allocation tracking and returns the populated file.
 func runSuite() BenchFile {
@@ -344,24 +469,45 @@ func runSuite() BenchFile {
 		MaxProcs:  runtime.GOMAXPROCS(0),
 	}
 	for _, def := range suite {
-		sim := simMap{}
-		run := def.run
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			run(b, sim)
-		})
-		f.Benchmarks = append(f.Benchmarks, BenchResult{
-			Name:        def.name,
-			Iterations:  r.N,
-			NsPerOp:     r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Simulated:   sim,
-		})
-		fmt.Fprintf(os.Stderr, "otbench: %-24s %12d ns/op %8d allocs/op %10d B/op\n",
-			def.name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+		f.Benchmarks = append(f.Benchmarks, measure(def.name, 0, def.run))
+	}
+	for _, def := range batchSuite {
+		f.Benchmarks = append(f.Benchmarks, measure(def.name, def.lanes, def.run))
 	}
 	return f
+}
+
+// throughputMode runs only the batched benchmarks and prints the
+// amortization table: ns per instance and instances/sec versus the
+// lane count, with the speedup over the single-lane entry of the same
+// workload.
+func throughputMode() {
+	type row struct {
+		def batchDef
+		res BenchResult
+	}
+	var rows []row
+	for _, def := range batchSuite {
+		rows = append(rows, row{def, measure(def.name, def.lanes, def.run)})
+	}
+	perInst := func(r row) float64 { return float64(r.res.NsPerOp) / float64(r.def.lanes) }
+	base := map[string]float64{} // workload prefix -> B=1 ns/instance
+	for _, r := range rows {
+		if r.def.lanes == 1 {
+			base[strings.SplitN(r.def.name, "/B=", 2)[0]] = perInst(r)
+		}
+	}
+	fmt.Printf("%-28s %6s %14s %14s %16s %10s\n",
+		"benchmark", "B", "ns/op", "ns/instance", "instances/sec", "speedup")
+	for _, r := range rows {
+		pi := perInst(r)
+		speedup := math.NaN()
+		if b1, okay := base[strings.SplitN(r.def.name, "/B=", 2)[0]]; okay && pi > 0 {
+			speedup = b1 / pi
+		}
+		fmt.Printf("%-28s %6d %14d %14.0f %16.0f %9.2fx\n",
+			r.def.name, r.def.lanes, r.res.NsPerOp, pi, 1e9/pi, speedup)
+	}
 }
 
 // allocSlack is the -compare tolerance on allocs/op: small counts
@@ -402,7 +548,9 @@ func benchMode(jsonOut, compare string) bool {
 
 // diff reports cur against base. Simulated metrics must match
 // exactly; allocs/op may not regress beyond the slack; ns/op is
-// printed as a ratio but never fails the comparison.
+// printed as a ratio but never fails the comparison. The suites must
+// also agree as sets: a benchmark present on either side only is a
+// FAIL, so the committed baseline always covers the whole suite.
 func diff(base, cur BenchFile) bool {
 	curByName := map[string]BenchResult{}
 	for _, b := range cur.Benchmarks {
@@ -448,8 +596,17 @@ func diff(base, cur BenchFile) bool {
 		fmt.Fprintf(os.Stderr, "ok   %-24s ns/op %.2fx of baseline (info only), allocs/op %d vs %d\n",
 			old.Name, ratio, now.AllocsPerOp, old.AllocsPerOp)
 	}
+	// A benchmark the baseline has never seen is as much a gap in the
+	// regression gate as a vanished one: its simulated quantities are
+	// not pinned by anything. Fail until the baseline is regenerated.
+	extra := make([]string, 0, len(curByName))
 	for name := range curByName {
-		fmt.Fprintf(os.Stderr, "note %s: new benchmark, not in baseline\n", name)
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(os.Stderr, "FAIL %s: benchmark missing from baseline (regenerate with -json)\n", name)
+		ok = false
 	}
 	if ok {
 		fmt.Fprintln(os.Stderr, "otbench: comparison PASSED")

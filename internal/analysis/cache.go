@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"repro/internal/algorithms/matrix"
+	"repro/internal/core"
+	"repro/internal/mcache"
+	"repro/internal/otc"
+	"repro/internal/vlsi"
+)
+
+// machines is the package-wide machine cache: sweep cells check out a
+// machine per (network, size, cycle-length, config) instead of paying
+// construction per cell, and repeated sweeps — cmd/otbench re-runs
+// whole tables per benchmark iteration, FaultSweepStudy reruns one
+// topology per fault plan — reuse one recycled machine throughout.
+// A checked-out machine is exclusively its cell's: fault plans and
+// register writes mutate the checkout, never anything the cache holds
+// (mcache retains only idle machines, scrubbed on return), so the
+// concurrent cells of runCells stay as independent as when each built
+// its own. Networks with bespoke machine types (mesh, psn, ccc,
+// native otc, mot3d) construct per cell as before.
+var machines = mcache.New()
+
+// cachedOTN checks out a (k×k)-OTN under cfg; release returns it.
+func cachedOTN(k int, cfg vlsi.Config) (m *core.Machine, release func(), err error) {
+	key := mcache.OTNKey(k, cfg)
+	m, err = machines.Checkout(key, func() (*core.Machine, error) { return core.New(k, cfg) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() { machines.Return(key, m) }, nil
+}
+
+// cachedEmulatedOTN checks out a Section VI cycle-backed emulated OTN
+// with k logical leaves per side and cycle length l.
+func cachedEmulatedOTN(k, l int, cfg vlsi.Config) (m *core.Machine, release func(), err error) {
+	key := mcache.EmulatedOTNKey(k, l, cfg)
+	m, err = machines.Checkout(key, func() (*core.Machine, error) { return otc.NewEmulatedOTN(k, l, cfg) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() { machines.Return(key, m) }, nil
+}
+
+// cachedMatMulMachine checks out the Table II big-base machine for
+// n×n operands (base side n²; matrix.BigMachine's recipe is exactly
+// core.New at that size, so it shares the plain OTN keyspace).
+func cachedMatMulMachine(n int, model vlsi.DelayModel) (*core.Machine, func(), error) {
+	k := n * n
+	cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(k), Model: model}
+	key := mcache.OTNKey(k, cfg)
+	m, err := machines.Checkout(key, func() (*core.Machine, error) { return matrix.BigMachine(n, model) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() { machines.Return(key, m) }, nil
+}

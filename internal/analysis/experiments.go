@@ -7,7 +7,6 @@ import (
 	"repro/internal/algorithms/matrix"
 	"repro/internal/algorithms/sorting"
 	"repro/internal/ccc"
-	"repro/internal/core"
 	"repro/internal/cube"
 	"repro/internal/layout"
 	"repro/internal/mesh"
@@ -95,10 +94,11 @@ func Table1Sorting(ns []int, model vlsi.DelayModel) (*Experiment, error) {
 		})
 
 		cells = append(cells, func() (Row, error) {
-			om, err := core.New(n, cfg)
+			om, release, err := cachedOTN(n, cfg)
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			sorted, t := sorting.SortOTN(om, perm(), 0)
 			if err := checkSorted(sorted, n); err != nil {
 				return Row{}, fmt.Errorf("otn: %w", err)
@@ -207,10 +207,11 @@ func Table2BoolMatMul(ns []int) (*Experiment, error) {
 
 		cells = append(cells, func() (Row, error) {
 			a, b, want := operands()
-			om, err := matrix.BigMachine(n, vlsi.LogDelay{})
+			om, release, err := cachedMatMulMachine(n, vlsi.LogDelay{})
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			c, t := matrix.BigMatMul(om, a, b, true, 0)
 			if err := checkMat(c, want); err != nil {
 				return Row{}, fmt.Errorf("otn: %w", err)
@@ -221,10 +222,11 @@ func Table2BoolMatMul(ns []int) (*Experiment, error) {
 		cells = append(cells, func() (Row, error) {
 			a, b, want := operands()
 			l := cycleLenFor(n * n)
-			tm, err := otc.NewEmulatedOTN(n*n, l, vlsi.DefaultConfig(n*n))
+			tm, release, err := cachedEmulatedOTN(n*n, l, vlsi.DefaultConfig(n*n))
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			c, t := matrix.BigMatMul(tm, a, b, true, 0)
 			if err := checkMat(c, want); err != nil {
 				return Row{}, fmt.Errorf("otc: %w", err)
@@ -336,10 +338,11 @@ func Table3Components(ns []int) (*Experiment, error) {
 
 		cells = append(cells, func() (Row, error) {
 			g, _, want := gen()
-			om, err := core.New(n, cfg)
+			om, release, err := cachedOTN(n, cfg)
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			graph.LoadGraph(om, g)
 			lab, t := graph.ConnectedComponents(om, 0)
 			if !graph.SamePartition(lab, want) {
@@ -351,10 +354,11 @@ func Table3Components(ns []int) (*Experiment, error) {
 		cells = append(cells, func() (Row, error) {
 			g, _, want := gen()
 			l := cycleLenFor(n)
-			tm, err := otc.NewEmulatedOTN(n, l, cfg)
+			tm, release, err := cachedEmulatedOTN(n, l, cfg)
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			graph.LoadGraph(tm, g)
 			lab, t := graph.ConnectedComponents(tm, 0)
 			if !graph.SamePartition(lab, want) {
@@ -388,10 +392,11 @@ func MSTExperiment(ns []int) (*Experiment, error) {
 		cells = append(cells, func() (Row, error) {
 			w := weights()
 			wantW, wantE := graph.RefMST(w)
-			om, err := core.New(n, cfg)
+			om, release, err := cachedOTN(n, cfg)
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			graph.LoadWeights(om, w)
 			edges, t := graph.MinSpanningTree(om, 0)
 			if err := checkMST(edges, wantW, wantE); err != nil {
@@ -404,10 +409,11 @@ func MSTExperiment(ns []int) (*Experiment, error) {
 			w := weights()
 			wantW, wantE := graph.RefMST(w)
 			l := cycleLenFor(n)
-			tm, err := otc.NewEmulatedOTN(n, l, cfg)
+			tm, release, err := cachedEmulatedOTN(n, l, cfg)
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			graph.LoadWeights(tm, w)
 			edges, t := graph.MinSpanningTree(tm, 0)
 			if err := checkMST(edges, wantW, wantE); err != nil {
@@ -465,10 +471,11 @@ func FigureAreas(ks []int) (*Experiment, error) {
 // output interval collapsing to Θ(log N) against a Θ(log² N) single-
 // problem latency.
 func PipelineExperiment(n, batches int) (latency, steady vlsi.Time, err error) {
-	m, err := core.New(n, vlsi.DefaultConfig(n*n))
+	m, release, err := cachedOTN(n, vlsi.DefaultConfig(n*n))
 	if err != nil {
 		return 0, 0, err
 	}
+	defer release()
 	rng := workload.NewRNG(seed)
 	work := make([][]int64, batches)
 	for b := range work {
@@ -510,10 +517,11 @@ func MatMul3DStudy(ns []int) (*Experiment, error) {
 
 		cells = append(cells, func() (Row, error) {
 			a, b, want := operands()
-			om, err := matrix.BigMachine(n, vlsi.LogDelay{})
+			om, release, err := cachedMatMulMachine(n, vlsi.LogDelay{})
 			if err != nil {
 				return Row{}, err
 			}
+			defer release()
 			c, t := matrix.BigMatMul(om, a, b, true, 0)
 			if err := checkMat(c, want); err != nil {
 				return Row{}, fmt.Errorf("otn-2d: %w", err)

@@ -1,0 +1,137 @@
+// Package mcache caches constructed simulation machines by topology
+// key. Building a core.Machine is the expensive part of a sweep cell:
+// layout measurement, 2K router constructions, per-tree delay tables
+// and scratch arenas. Everything a workload then mutates — registers,
+// edge occupancy, fault views, the sticky error — is cheap to scrub
+// in place (core.Machine.Recycle). The cache exploits that split:
+// analysis sweeps check out a machine per (network, size, cycle
+// length, config) cell, run, and return it scrubbed, so construction
+// cost is paid once per distinct topology per process instead of once
+// per cell, and repeated sweeps (cmd/otbench re-runs whole tables per
+// benchmark iteration) run allocation-lean.
+//
+// Ownership protocol: a checked-out machine is exclusively the
+// caller's — fault plans, register writes and tracer attachments
+// mutate the checked-out copy only. The cache retains no template; it
+// holds only idle machines, each recycled to as-constructed state on
+// Return, so a cache hit is observationally identical to a fresh
+// construction (the determinism tests of internal/analysis pin this
+// across cache reuse).
+package mcache
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// Key identifies one machine construction recipe. Two equal keys must
+// describe bit-identical constructions: the network kind, the logical
+// base side, the OTC cycle length (0 where the network has none), and
+// the vlsi configuration (word width + delay model, by name — models
+// are stateless).
+type Key struct {
+	Network  string
+	K        int
+	CycleLen int
+	WordBits int
+	Model    string
+}
+
+// OTNKey is the key of core.New(k, cfg).
+func OTNKey(k int, cfg vlsi.Config) Key {
+	return Key{Network: "otn", K: k, WordBits: cfg.WordBits, Model: cfg.Model.Name()}
+}
+
+// ScaledOTNKey is the key of core.NewScaled(k, cfg).
+func ScaledOTNKey(k int, cfg vlsi.Config) Key {
+	return Key{Network: "otn-scaled", K: k, WordBits: cfg.WordBits, Model: cfg.Model.Name()}
+}
+
+// EmulatedOTNKey is the key of otc.NewEmulatedOTN(k, l, cfg).
+func EmulatedOTNKey(k, l int, cfg vlsi.Config) Key {
+	return Key{Network: "otc-emulated", K: k, CycleLen: l, WordBits: cfg.WordBits, Model: cfg.Model.Name()}
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits    int // checkouts served from the free list
+	Misses  int // checkouts that had to build
+	Returns int // machines recycled back into the free list
+	Drops   int // returned machines discarded (sticky error)
+}
+
+// Cache is a thread-safe free list of idle machines per key. The zero
+// value is not usable; call New.
+type Cache struct {
+	mu    sync.Mutex
+	free  map[Key][]*core.Machine
+	stats Stats
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{free: make(map[Key][]*core.Machine)}
+}
+
+// Checkout hands out an idle machine for key, building one with build
+// on a miss. Concurrent misses on the same key each build (outside
+// the cache lock); both machines enter the free list when returned.
+func (c *Cache) Checkout(key Key, build func() (*core.Machine, error)) (*core.Machine, error) {
+	c.mu.Lock()
+	if list := c.free[key]; len(list) > 0 {
+		m := list[len(list)-1]
+		list[len(list)-1] = nil
+		c.free[key] = list[:len(list)-1]
+		c.stats.Hits++
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+	return build()
+}
+
+// Return recycles m to as-constructed state and parks it for the next
+// Checkout of key. A machine still carrying a sticky error is dropped
+// instead — the error says its last run went somewhere the recycle
+// contract was not written for, and rebuilding is cheap insurance.
+// Return accepts nil (from error paths) as a no-op.
+func (c *Cache) Return(key Key, m *core.Machine) {
+	if m == nil {
+		return
+	}
+	if m.Err() != nil {
+		c.mu.Lock()
+		c.stats.Drops++
+		c.mu.Unlock()
+		return
+	}
+	m.Recycle()
+	c.mu.Lock()
+	c.free[key] = append(c.free[key], m)
+	c.stats.Returns++
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Idle returns how many machines are parked for key.
+func (c *Cache) Idle(key Key) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.free[key])
+}
+
+// Flush discards every idle machine (the stats survive).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.free = make(map[Key][]*core.Machine)
+}

@@ -1,0 +1,358 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// This file implements the batched router behind the multi-instance
+// execution engine (core.Batch): one traversal of the tree topology
+// services B independent problem instances ("lanes"), each with its
+// own edge-occupancy state — the simulator-side analogue of the
+// paper's pipelining argument that a tree descent is amortized over a
+// stream of independent problems.
+//
+// Timing contract: lane p's claim arithmetic is exactly the claim
+// arithmetic a dedicated, freshly Reset Tree would perform under the
+// same operation sequence, so a batch of B instances is bit-identical
+// to B sequential single-instance runs (the determinism tests pin
+// this). The throughput win comes from the uniform fast path: while
+// every lane has seen identical release times and identical routing
+// choices, the lanes' occupancy states are provably equal, so the
+// router walks the tree once for lane 0 and fans the completion out
+// to all B lanes in O(B). The first lane-divergent input — unequal
+// release times, or a data-dependent leaf choice — materializes
+// per-lane occupancy (O(K·B), once) and the router degrades
+// gracefully to B honest per-lane traversals.
+
+// Batch is a B-lane batched view over one routing tree. It shares the
+// Tree's immutable shape (geometry, delay table, configuration) but
+// owns all occupancy state, so the underlying Tree remains
+// independently usable. Like Tree, a Batch is owned by exactly one
+// simulated vector and is not safe for concurrent use.
+type Batch struct {
+	t *Tree
+	b int
+
+	// uniform marks that every lane's occupancy equals lane 0's;
+	// operations with lane-uniform inputs then run once on lane 0.
+	uniform bool
+
+	// upFree / downFree hold per-lane directional edge occupancy,
+	// lane-major per node: the slot of node v, lane p is v*b+p.
+	upFree, downFree []vlsi.Time
+
+	// Reusable per-operation buffers, sized once here so steady-state
+	// batched routing allocates nothing (same discipline as
+	// Tree.scratch).
+	scratch struct {
+		headU  []vlsi.Time // 2K: uniform-mode broadcast heads
+		readyU []vlsi.Time // 2K: uniform-mode ascent arrivals
+		head   []vlsi.Time // 2K*b: per-lane broadcast heads
+		ready  []vlsi.Time // 2K*b: per-lane ascent arrivals
+	}
+}
+
+// NewBatch returns a B-lane batched router over t's topology.
+// Batching is a healthy-path engine: a tree with an attached fault
+// view is refused (degraded routing is inherently per-instance).
+func (t *Tree) NewBatch(b int) (*Batch, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("tree: batch of %d lanes", b)
+	}
+	if t.faults != nil {
+		return nil, fmt.Errorf("tree: batching a faulted tree is unsupported")
+	}
+	n := 2 * t.geom.K
+	bb := &Batch{
+		t:        t,
+		b:        b,
+		uniform:  true,
+		upFree:   make([]vlsi.Time, n*b),
+		downFree: make([]vlsi.Time, n*b),
+	}
+	bb.scratch.headU = make([]vlsi.Time, n)
+	bb.scratch.readyU = make([]vlsi.Time, n)
+	bb.scratch.head = make([]vlsi.Time, n*b)
+	bb.scratch.ready = make([]vlsi.Time, n*b)
+	return bb, nil
+}
+
+// Lanes returns the batch width B.
+func (bb *Batch) Lanes() int { return bb.b }
+
+// K returns the number of leaves.
+func (bb *Batch) K() int { return bb.t.geom.K }
+
+// Leaf returns the node index of leaf j.
+func (bb *Batch) Leaf(j int) int { return bb.t.Leaf(j) }
+
+// Reset clears every lane's occupancy, as between independent
+// batches, and re-enters the uniform fast path.
+func (bb *Batch) Reset() {
+	for i := range bb.upFree {
+		bb.upFree[i] = 0
+		bb.downFree[i] = 0
+	}
+	bb.uniform = true
+}
+
+// allEqual reports whether every lane shares one release time.
+func allEqual(xs []vlsi.Time) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSameInt reports whether every lane chose the same leaf.
+func allSameInt(xs []int) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize expands lane 0's occupancy into every lane and leaves
+// uniform mode. Sound because uniform mode is only ever entered when
+// all lanes' states are equal, and only uniform inputs are accepted
+// while in it.
+func (bb *Batch) materialize() {
+	if !bb.uniform {
+		return
+	}
+	bb.uniform = false
+	b := bb.b
+	// Node 0 is unused and the root (1) has no parent edge; claims
+	// only ever touch v >= 2.
+	for v := 2; v < 2*bb.t.geom.K; v++ {
+		u, d := bb.upFree[v*b], bb.downFree[v*b]
+		for p := 1; p < b; p++ {
+			bb.upFree[v*b+p] = u
+			bb.downFree[v*b+p] = d
+		}
+	}
+}
+
+// claim is Tree.claim on lane p's occupancy: reserve the directional
+// edge between node v and its parent for one w-bit word whose head is
+// available at head, returning when the head emerges at the far end.
+func (bb *Batch) claim(v, p int, up bool, head vlsi.Time) vlsi.Time {
+	idx := v*bb.b + p
+	free := &bb.downFree[idx]
+	if up {
+		free = &bb.upFree[idx]
+	}
+	start := vlsi.MaxTime(head, *free)
+	*free = start + vlsi.Time(bb.t.cfg.WordBits)
+	return start + bb.t.first[v]
+}
+
+func (bb *Batch) checkLanes(op string, rels, dones []vlsi.Time) {
+	if len(rels) != bb.b || len(dones) != bb.b {
+		panic(fmt.Sprintf("tree: %s with %d/%d lane times, want %d", op, len(rels), len(dones), bb.b))
+	}
+}
+
+// Broadcast floods one w-bit word from the root to every leaf on
+// every lane. rels[p] is the time lane p's word is ready at the root;
+// dones[p] receives lane p's completion (the max over its leaves).
+// rels and dones may alias: every release is read before any
+// completion is written.
+func (bb *Batch) Broadcast(rels, dones []vlsi.Time) {
+	bb.checkLanes("Broadcast", rels, dones)
+	k := bb.t.geom.K
+	w := vlsi.Time(bb.t.cfg.WordBits - 1)
+	if bb.uniform && allEqual(rels) {
+		head := bb.scratch.headU
+		head[Root] = rels[0]
+		for v := 1; v < k; v++ {
+			for _, c := range [2]int{2 * v, 2*v + 1} {
+				h := head[v]
+				if v != Root {
+					h += bb.t.nodeLatency
+				}
+				head[c] = bb.claim(c, 0, false, h)
+			}
+		}
+		var done vlsi.Time
+		for j := 0; j < k; j++ {
+			if t := head[k+j] + w; t > done {
+				done = t
+			}
+		}
+		for p := range dones {
+			dones[p] = done
+		}
+		return
+	}
+	bb.materialize()
+	b := bb.b
+	head := bb.scratch.head
+	for p := 0; p < b; p++ {
+		head[Root*b+p] = rels[p]
+	}
+	for v := 1; v < k; v++ {
+		for _, c := range [2]int{2 * v, 2*v + 1} {
+			for p := 0; p < b; p++ {
+				h := head[v*b+p]
+				if v != Root {
+					h += bb.t.nodeLatency
+				}
+				head[c*b+p] = bb.claim(c, p, false, h)
+			}
+		}
+	}
+	for p := 0; p < b; p++ {
+		var done vlsi.Time
+		for j := 0; j < k; j++ {
+			if t := head[(k+j)*b+p] + w; t > done {
+				done = t
+			}
+		}
+		dones[p] = done
+	}
+}
+
+// ReduceUniform performs one combining ascent per lane with all of a
+// lane's leaves releasing at rels[p]; dones[p] receives the time the
+// combined word's last bit reaches the root. rels and dones may
+// alias.
+func (bb *Batch) ReduceUniform(rels, dones []vlsi.Time) {
+	bb.checkLanes("ReduceUniform", rels, dones)
+	k := bb.t.geom.K
+	w := vlsi.Time(bb.t.cfg.WordBits - 1)
+	if bb.uniform && allEqual(rels) {
+		ready := bb.scratch.readyU
+		for j := 0; j < k; j++ {
+			ready[k+j] = rels[0]
+		}
+		for v := k - 1; v >= 1; v-- {
+			a := bb.claim(2*v, 0, true, ready[2*v])
+			c := bb.claim(2*v+1, 0, true, ready[2*v+1])
+			ready[v] = vlsi.MaxTime(a, c) + bb.t.nodeLatency
+		}
+		done := ready[Root] + w
+		for p := range dones {
+			dones[p] = done
+		}
+		return
+	}
+	bb.materialize()
+	b := bb.b
+	ready := bb.scratch.ready
+	for j := k; j < 2*k; j++ {
+		for p := 0; p < b; p++ {
+			ready[j*b+p] = rels[p]
+		}
+	}
+	for v := k - 1; v >= 1; v-- {
+		for p := 0; p < b; p++ {
+			a := bb.claim(2*v, p, true, ready[(2*v)*b+p])
+			c := bb.claim(2*v+1, p, true, ready[(2*v+1)*b+p])
+			ready[v*b+p] = vlsi.MaxTime(a, c) + bb.t.nodeLatency
+		}
+	}
+	for p := 0; p < b; p++ {
+		dones[p] = ready[Root*b+p] + w
+	}
+}
+
+// Gather routes one word from each lane's chosen leaf to the root;
+// leaves[p] is lane p's source leaf and may differ per lane (the
+// data-dependent case — SORT-OTN's final gather). A negative leaf
+// skips its lane (dones[p] = rels[p]); core.Batch uses this to keep
+// the sticky-error semantics of a failed selector per-lane. rels and
+// dones may alias.
+func (bb *Batch) Gather(leaves []int, rels, dones []vlsi.Time) {
+	bb.checkLanes("Gather", rels, dones)
+	if len(leaves) != bb.b {
+		panic(fmt.Sprintf("tree: Gather with %d lane leaves, want %d", len(leaves), bb.b))
+	}
+	if bb.uniform && allEqual(rels) && allSameInt(leaves) && leaves[0] >= 0 {
+		done := bb.routeLane(0, bb.t.Leaf(leaves[0]), Root, rels[0])
+		for p := range dones {
+			dones[p] = done
+		}
+		return
+	}
+	bb.materialize()
+	for p, leaf := range leaves {
+		if leaf < 0 {
+			dones[p] = rels[p]
+			continue
+		}
+		dones[p] = bb.routeLane(p, bb.t.Leaf(leaf), Root, rels[p])
+	}
+}
+
+// ExchangePairs models the COMPEX step on every lane: each leaf j
+// with j & stride == 0 exchanges a word with leaf j+stride. rels and
+// dones may alias.
+func (bb *Batch) ExchangePairs(stride int, rels, dones []vlsi.Time) {
+	bb.checkLanes("ExchangePairs", rels, dones)
+	if !vlsi.IsPow2(stride) || stride >= bb.t.geom.K {
+		panic(fmt.Sprintf("tree: ExchangePairs stride %d (K=%d)", stride, bb.t.geom.K))
+	}
+	if bb.uniform && allEqual(rels) {
+		done := bb.exchangeLane(0, stride, rels[0])
+		for p := range dones {
+			dones[p] = done
+		}
+		return
+	}
+	bb.materialize()
+	for p := 0; p < bb.b; p++ {
+		dones[p] = bb.exchangeLane(p, stride, rels[p])
+	}
+}
+
+// exchangeLane is Tree.ExchangePairs on lane p, claim order included.
+func (bb *Batch) exchangeLane(p, stride int, rel vlsi.Time) vlsi.Time {
+	var done vlsi.Time
+	for j := 0; j < bb.t.geom.K; j++ {
+		if j&stride != 0 {
+			continue
+		}
+		a, c := bb.t.Leaf(j), bb.t.Leaf(j+stride)
+		d1 := bb.routeLane(p, a, c, rel)
+		d2 := bb.routeLane(p, c, a, rel)
+		done = vlsi.MaxTimes(done, d1, d2)
+	}
+	return done
+}
+
+// routeLane is Tree.claimRoute on lane p's occupancy: up to the
+// lowest common ancestor, then down, claim order and head arithmetic
+// identical to the single-instance router.
+func (bb *Batch) routeLane(p, src, dst int, rel vlsi.Time) vlsi.Time {
+	var down [64]int
+	nd := 0
+	head := rel
+	firstUp := true
+	a, c := src, dst
+	for a != c {
+		if a > c {
+			if !firstUp {
+				head += bb.t.nodeLatency
+			}
+			firstUp = false
+			head = bb.claim(a, p, true, head)
+			a /= 2
+		} else {
+			down[nd] = c
+			nd++
+			c /= 2
+		}
+	}
+	for i := nd - 1; i >= 0; i-- {
+		head += bb.t.nodeLatency
+		head = bb.claim(down[i], p, false, head)
+	}
+	return head + vlsi.Time(bb.t.cfg.WordBits-1)
+}

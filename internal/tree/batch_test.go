@@ -1,0 +1,211 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+func newTestBatch(t *testing.T, k, b int) (*Batch, []*Tree) {
+	t.Helper()
+	geom, err := layout.MeasureOTN(k, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vlsi.Config{WordBits: 12, Model: vlsi.LogDelay{}}
+	tr, err := New(geom.RowTree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := tr.NewBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One dedicated single-instance tree per lane: the reference the
+	// batch must match bit-for-bit.
+	refs := make([]*Tree, b)
+	for p := range refs {
+		if refs[p], err = New(geom.RowTree, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bb, refs
+}
+
+// A batch kept on the uniform fast path must reproduce each lane's
+// dedicated tree exactly, through a pipeline of mixed operations
+// (occupancy carried across ops, no resets).
+func TestBatchUniformMatchesSequential(t *testing.T) {
+	const k, b = 16, 5
+	bb, refs := newTestBatch(t, k, b)
+	rels := make([]vlsi.Time, b)
+	dones := make([]vlsi.Time, b)
+	check := func(op string, want vlsi.Time) {
+		t.Helper()
+		for p := 0; p < b; p++ {
+			if dones[p] != want {
+				t.Fatalf("%s: lane %d done %d, want %d", op, p, dones[p], want)
+			}
+		}
+	}
+	for step, rel := range []vlsi.Time{0, 3, 3, 7} {
+		for p := range rels {
+			rels[p] = rel
+		}
+		bb.Broadcast(rels, dones)
+		_, want := refs[0].Broadcast(rel)
+		check("Broadcast", want)
+
+		bb.ReduceUniform(rels, dones)
+		check("ReduceUniform", refs[0].ReduceUniform(rel))
+
+		leaves := make([]int, b)
+		for p := range leaves {
+			leaves[p] = (step * 3) % k
+		}
+		bb.Gather(leaves, rels, dones)
+		check("Gather", refs[0].Gather(leaves[0], rel))
+
+		bb.ExchangePairs(2, rels, dones)
+		check("ExchangePairs", refs[0].ExchangePairs(2, rel))
+	}
+	if !bb.uniform {
+		t.Fatal("batch left the uniform fast path on uniform inputs")
+	}
+	// Keep the other reference trees in sync for symmetry (they were
+	// idle; this test only needed lane 0's).
+}
+
+// Divergent inputs (per-lane leaves, then per-lane release times)
+// must materialize per-lane occupancy and still match each lane's
+// dedicated tree run bit-for-bit.
+func TestBatchDivergentMatchesSequential(t *testing.T) {
+	const k, b = 16, 4
+	bb, refs := newTestBatch(t, k, b)
+	rels := make([]vlsi.Time, b)
+	dones := make([]vlsi.Time, b)
+	want := make([]vlsi.Time, b)
+
+	// Shared prefix: one uniform broadcast on every lane.
+	bb.Broadcast(rels, dones)
+	for p, ref := range refs {
+		_, want[p] = ref.Broadcast(0)
+		if dones[p] != want[p] {
+			t.Fatalf("prefix broadcast: lane %d done %d, want %d", p, dones[p], want[p])
+		}
+	}
+
+	// Divergence point: each lane gathers from its own leaf.
+	leaves := make([]int, b)
+	for p := range leaves {
+		leaves[p] = (p * 5) % k
+	}
+	bb.Gather(leaves, dones, dones)
+	for p, ref := range refs {
+		want[p] = ref.Gather(leaves[p], want[p])
+		if dones[p] != want[p] {
+			t.Fatalf("gather: lane %d done %d, want %d", p, dones[p], want[p])
+		}
+	}
+	if bb.uniform {
+		t.Fatal("batch stayed uniform across a divergent gather")
+	}
+
+	// Post-divergence ops run per-lane on the carried occupancy.
+	bb.Broadcast(dones, dones)
+	for p, ref := range refs {
+		_, want[p] = ref.Broadcast(want[p])
+		if dones[p] != want[p] {
+			t.Fatalf("post broadcast: lane %d done %d, want %d", p, dones[p], want[p])
+		}
+	}
+	bb.ReduceUniform(dones, dones)
+	for p, ref := range refs {
+		want[p] = ref.ReduceUniform(want[p])
+		if dones[p] != want[p] {
+			t.Fatalf("post reduce: lane %d done %d, want %d", p, dones[p], want[p])
+		}
+	}
+	bb.ExchangePairs(4, dones, dones)
+	for p, ref := range refs {
+		want[p] = ref.ExchangePairs(4, want[p])
+		if dones[p] != want[p] {
+			t.Fatalf("post exchange: lane %d done %d, want %d", p, dones[p], want[p])
+		}
+	}
+
+	// A skipped lane (negative leaf) passes its release through.
+	copy(rels, dones)
+	leaves[1] = -1
+	bb.Gather(leaves, rels, dones)
+	if dones[1] != rels[1] {
+		t.Fatalf("skipped lane done %d, want release %d", dones[1], rels[1])
+	}
+
+	// Reset restores the uniform fast path and zero occupancy.
+	bb.Reset()
+	if !bb.uniform {
+		t.Fatal("Reset did not restore uniform mode")
+	}
+	for p := range rels {
+		rels[p] = 0
+	}
+	bb.Broadcast(rels, dones)
+	refs[0].Reset()
+	_, w0 := refs[0].Broadcast(0)
+	if dones[0] != w0 {
+		t.Fatalf("post-reset broadcast done %d, want %d", dones[0], w0)
+	}
+}
+
+// Steady-state batched routing must allocate nothing, uniform or
+// materialized: its buffers are sized once at construction.
+func TestBatchAllocationFree(t *testing.T) {
+	const k, b = 32, 8
+	bb, _ := newTestBatch(t, k, b)
+	rels := make([]vlsi.Time, b)
+	dones := make([]vlsi.Time, b)
+	leaves := make([]int, b)
+	for p := range leaves {
+		leaves[p] = p
+	}
+	pin := func(op string, f func()) {
+		t.Helper()
+		if got := testing.AllocsPerRun(100, f); got > 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", op, got)
+		}
+	}
+	pin("Broadcast(uniform)", func() { bb.Reset(); bb.Broadcast(rels, dones) })
+	pin("ReduceUniform(uniform)", func() { bb.Reset(); bb.ReduceUniform(rels, dones) })
+	pin("ExchangePairs(uniform)", func() { bb.Reset(); bb.ExchangePairs(2, rels, dones) })
+	pin("Gather(divergent)+Broadcast(materialized)", func() {
+		bb.Reset()
+		bb.Gather(leaves, rels, dones)
+		bb.Broadcast(rels, dones)
+		bb.ReduceUniform(rels, dones)
+	})
+}
+
+// Batching is a healthy-path engine: faulted trees are refused.
+func TestBatchRefusesFaultedTree(t *testing.T) {
+	geom, err := layout.MeasureOTN(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(geom.RowTree, vlsi.Config{WordBits: 12, Model: vlsi.LogDelay{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.New(1).KillEdge(true, 0, 9)
+	tr.ApplyFaults(plan, true, 0, nil)
+	if _, err := tr.NewBatch(2); err == nil {
+		t.Fatal("NewBatch accepted a faulted tree")
+	}
+	// Detaching the faults makes the tree batchable again.
+	tr.SetFaults(nil)
+	if _, err := tr.NewBatch(2); err != nil {
+		t.Fatalf("NewBatch on recovered tree: %v", err)
+	}
+}

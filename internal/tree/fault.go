@@ -67,6 +67,9 @@ func (t *Tree) SetFaults(f *fault.TreeFaults) {
 	t.faults = f
 	t.unreachable = nil
 	t.cutLeaves = nil
+	// The ascent sequence number restarts with the view: a recycled
+	// tree must draw the same transient schedule a fresh one would.
+	t.ascents = 0
 	if !f.Dead() {
 		return
 	}

@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/layout"
+	"repro/internal/mcache"
 	"repro/internal/mesh"
 	"repro/internal/mot3d"
 	"repro/internal/otc"
@@ -109,6 +110,14 @@ type (
 	// slowdown of SORT-OTN and CONNECTED-COMPONENTS versus the
 	// number of injected faults.
 	FaultSweep = analysis.FaultSweep
+	// Batch executes B independent program instances on one OTN's
+	// routing fabric at once (see NewBatch).
+	Batch = core.Batch
+	// MachineCache recycles constructed machines across analysis
+	// sweeps and benchmark iterations (see NewMachineCache).
+	MachineCache = mcache.Cache
+	// MachineKey identifies a machine shape in a MachineCache.
+	MachineKey = mcache.Key
 )
 
 // Delay models.
@@ -131,6 +140,22 @@ func NewOTN(k int) (*Machine, error) { return core.NewDefault(k, k*k) }
 
 // NewOTNWith builds a (k×k)-OTN under an explicit configuration.
 func NewOTNWith(k int, cfg Config) (*Machine, error) { return core.New(k, cfg) }
+
+// NewBatch wraps a healthy OTN in a B-lane batched executor: one
+// traversal of the machine's tree routers services B independent
+// program instances, amortizing the host-side simulation cost while
+// every lane's simulated times stay bit-identical to a dedicated run.
+// The machine must be fault-free and use native tree routers.
+func NewBatch(m *Machine, lanes int) (*Batch, error) { return core.NewBatch(m, lanes) }
+
+// NewMachineCache returns an empty machine cache. Checkout pops an
+// idle machine for the key (or builds one on a miss); Return recycles
+// it — fault plans cleared, registers zeroed — for the next checkout.
+// A checked-out machine belongs exclusively to the caller.
+func NewMachineCache() *MachineCache { return mcache.New() }
+
+// OTNKey is the cache key for a plain (k×k)-OTN under cfg.
+func OTNKey(k int, cfg Config) MachineKey { return mcache.OTNKey(k, cfg) }
 
 // NewScaledOTN builds a (k×k)-OTN using Thompson's scaling technique
 // [31]: Θ(log N)-time primitives at unchanged Θ(N² log² N) area (the
@@ -190,6 +215,14 @@ func FaultSweepStudy(n, maxFaults int, seed uint64) (*FaultSweep, error) {
 // ports in Θ(log² K) bit-times.
 func Sort(m *Machine, xs []int64) ([]int64, Time) {
 	return sorting.SortOTN(m, xs, 0)
+}
+
+// SortBatch runs SORT-OTN on every lane of a batched machine at
+// once: lane p sorts problems[p] (len(problems) must equal the
+// batch's lane count), and lane p's output and completion time are
+// bit-identical to Sort on a dedicated machine.
+func SortBatch(bb *Batch, problems [][]int64) ([][]int64, []Time) {
+	return sorting.SortOTNBatch(bb, problems)
 }
 
 // SortPipelined streams batches of sort problems through one OTN
