@@ -14,15 +14,19 @@ vet:
 # The race detector is pointed at the packages that share memory
 # across goroutines: the goroutine-per-node engine, the tree router it
 # cross-validates, and — since the host-parallel core — the machine's
-# ParDo pool and the analysis sweep's concurrent cells (whose
-# determinism test doubles as the race proof).
+# ParDo pool, the analysis sweep's concurrent cells (whose determinism
+# test doubles as the race proof), and the fault/recovery layer's
+# per-lane health ledgers and supervisor.
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/...
-	$(GO) test -race -run 'Deterministic|Parallel|Batch' ./internal/analysis/... ./internal/algorithms/sorting/...
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/...
+	$(GO) test -race -run 'Deterministic|Parallel|Batch|Recovery' ./internal/analysis/... ./internal/algorithms/sorting/...
 
-# Short fuzz pass over the fault-plan determinism property.
+# Short fuzz passes over the fault-layer determinism properties:
+# static plans, and fault-arrival schedules through the recovery
+# supervisor.
 fuzz:
 	$(GO) test -fuzz FuzzPlanDeterminism -fuzztime 10s ./internal/fault
+	$(GO) test -fuzz FuzzScheduleDeterminism -fuzztime 10s ./internal/fault
 
 # Regenerate the committed benchmark baseline (host numbers are
 # environmental; the simulated metrics inside must never change).
@@ -42,9 +46,11 @@ benchthroughput:
 # One-iteration pass over every benchmark: compile + run smoke, no
 # timing fidelity intended. The explicit SortBatch pass additionally
 # smokes the batched engine with more than one iteration so the
-# lane-reset path runs too.
+# lane-reset path runs too, and one recovery-sweep point smokes the
+# checkpoint/rollback supervisor end to end through the CLI.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench 'SortBatch16' -benchtime 2x .
+	$(GO) run ./cmd/otsim -alg sort -n 16 -schedule 2 -json > /dev/null
 
 ci: build vet test race benchsmoke

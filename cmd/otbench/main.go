@@ -21,6 +21,7 @@
 //	otbench -table 3          # just Table III
 //	otbench -sizes 16,64,256  # override the sweep
 //	otbench -faultsweep       # robustness: slowdown vs injected faults
+//	otbench -recoverysweep    # robustness: mid-run arrivals + checkpoint/rollback costs
 //	otbench -json BENCH.json  # run the bench suite, write the baseline
 //	otbench -compare BENCH.json          # re-run, diff against baseline
 //	otbench -json new.json -compare BENCH.json
@@ -53,6 +54,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "also run the §VIII pipelining study (implied by -table 0)")
 	mot3d := flag.Bool("mot3d", false, "also run the §VII-B 3D mesh-of-trees comparison")
 	faultsweep := flag.Bool("faultsweep", false, "also run the fault sweep (implied by -table 0)")
+	recoverysweep := flag.Bool("recoverysweep", false, "also run the mid-run-arrival recovery sweep (implied by -table 0)")
 	format := flag.String("format", "text", "output format: text | markdown")
 	jsonOut := flag.String("json", "", "run the benchmark suite and write results to this file")
 	compare := flag.String("compare", "", "run the benchmark suite and diff against this baseline file")
@@ -78,7 +80,7 @@ func main() {
 	} else if *jsonOut != "" || *compare != "" {
 		ok = benchMode(*jsonOut, *compare)
 	} else {
-		runTables(*table, *sizes, *mst, *figs, *pipeline, *mot3d, *faultsweep, *format)
+		runTables(*table, *sizes, *mst, *figs, *pipeline, *mot3d, *faultsweep, *recoverysweep, *format)
 	}
 
 	if *memprofile != "" {
@@ -104,7 +106,7 @@ func fatalf(format string, args ...any) {
 
 // --- table regeneration (the original otbench) ----------------------
 
-func runTables(table int, sizes string, mst, figs, pipeline, mot3d, faultsweep bool, format string) {
+func runTables(table int, sizes string, mst, figs, pipeline, mot3d, faultsweep, recoverysweep bool, format string) {
 	all := table == 0
 	run := func(name string, def []int, f func([]int) (*orthotrees.Experiment, error)) {
 		ns := def
@@ -147,6 +149,17 @@ func runTables(table int, sizes string, mst, figs, pipeline, mot3d, faultsweep b
 		s, err := orthotrees.FaultSweepStudy(32, 4, 1983)
 		if err != nil {
 			fatalf("fault sweep: %v", err)
+		}
+		if format == "markdown" {
+			fmt.Println(s.Markdown())
+		} else {
+			fmt.Println(s.Render())
+		}
+	}
+	if all || recoverysweep {
+		s, err := orthotrees.RecoverySweepStudy(16, 3, 1983)
+		if err != nil {
+			fatalf("recovery sweep: %v", err)
 		}
 		if format == "markdown" {
 			fmt.Println(s.Markdown())

@@ -9,6 +9,8 @@
 //	otsim -alg sort -n 64 -network otc      # Section VI block emulation
 //	otsim -alg sort -n 64 -network scaled   # Thompson scaling [31]
 //	otsim -alg sort -n 64 -faults 3 -seed 7 # degraded-mode run + health report
+//	otsim -alg sort -n 64 -schedule 3       # mid-run fault arrivals + checkpoint/rollback recovery
+//	otsim -alg cc -n 32 -schedule 2 -json   # machine-readable recovery report on stdout
 //	otsim -alg cc -n 32 -model const -trace
 //	otsim -alg mst -n 16 -summary           # primitive-mix statistics
 //	otsim -alg matmul -n 8
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -35,9 +38,21 @@ func main() {
 	model := flag.String("model", "log", "wire-delay model: log | const | linear")
 	seed := flag.Uint64("seed", 1983, "workload seed")
 	faults := flag.Int("faults", 0, "inject this many random dead tree edges (seeded by -seed) and print the health report")
+	schedule := flag.Int("schedule", -1, "run under the recovery supervisor with this many mid-run dead-edge arrivals (sort/cc on otn/scaled; 0 = supervised but fault-free)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout (human output moves to stderr); exit status stays non-zero on unrecoverable runs")
 	trace := flag.Bool("trace", false, "print every communication primitive")
 	summary := flag.Bool("summary", false, "print the primitive-mix summary after the run")
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON object; the human
+	// narration moves to stderr so the report stays parseable.
+	say := func(format string, args ...any) {
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, format, args...)
+	}
 
 	var dm vlsi.DelayModel
 	switch *model {
@@ -49,6 +64,14 @@ func main() {
 		dm = vlsi.LinearDelay{}
 	default:
 		fail(fmt.Errorf("unknown model %q", *model))
+	}
+
+	if *schedule >= 0 {
+		if *faults > 0 {
+			fail(fmt.Errorf("-schedule (dynamic arrivals) and -faults (static plan) are separate modes; pick one"))
+		}
+		runSupervised(*alg, *n, *network, dm, *seed, *schedule, *jsonOut, say)
+		return
 	}
 
 	rng := orthotrees.NewRNG(*seed)
@@ -86,7 +109,7 @@ func main() {
 			recorder.Attach(m)
 		case *trace:
 			m.Tracer = func(op string, vec core.Vector, start, end vlsi.Time) {
-				fmt.Printf("  t=%-8d %-18s %-12s done t=%d\n", start, op, vec, end)
+				say("  t=%-8d %-18s %-12s done t=%d\n", start, op, vec, end)
 			}
 		}
 		return m
@@ -99,14 +122,14 @@ func main() {
 		m := machine(*n)
 		xs := rng.Perm(*n)
 		sorted, t := orthotrees.Sort(m, xs)
-		fmt.Printf("sorted %d numbers; first/last = %d/%d\n", *n, sorted[0], sorted[len(sorted)-1])
+		say("sorted %d numbers; first/last = %d/%d\n", *n, sorted[0], sorted[len(sorted)-1])
 		elapsed, area = t, m.Area()
 	case "bitonic":
 		k := sideOf(*n)
 		m := machine(k)
 		xs := rng.Ints(*n, 1<<20)
 		sorted, t := orthotrees.BitonicSort(m, xs)
-		fmt.Printf("bitonic-sorted %d numbers; first/last = %d/%d\n", *n, sorted[0], sorted[len(sorted)-1])
+		say("bitonic-sorted %d numbers; first/last = %d/%d\n", *n, sorted[0], sorted[len(sorted)-1])
 		elapsed, area = t, m.Area()
 	case "cc":
 		m := machine(*n)
@@ -117,7 +140,7 @@ func main() {
 		for _, l := range labels {
 			comp[l] = true
 		}
-		fmt.Printf("graph with %d vertices, %d edges: %d components\n", *n, g.EdgeCount(), len(comp))
+		say("graph with %d vertices, %d edges: %d components\n", *n, g.EdgeCount(), len(comp))
 		elapsed, area = t, m.Area()
 	case "mst":
 		m := machine(*n)
@@ -128,7 +151,7 @@ func main() {
 		for _, e := range edges {
 			total += e.W
 		}
-		fmt.Printf("MST of complete %d-vertex graph: %d edges, weight %d\n", *n, len(edges), total)
+		say("MST of complete %d-vertex graph: %d edges, weight %d\n", *n, len(edges), total)
 		elapsed, area = t, m.Area()
 	case "matmul":
 		m, err := orthotrees.NewMatMulMachine(*n)
@@ -142,14 +165,14 @@ func main() {
 				ones += int(c[i][j])
 			}
 		}
-		fmt.Printf("Boolean %d×%d product: %d ones\n", *n, *n, ones)
+		say("Boolean %d×%d product: %d ones\n", *n, *n, ones)
 		elapsed, area = t, m.Area()
 	case "dft":
 		k := sideOf(*n)
 		m := machine(k)
 		xs := rng.ComplexSignal(*n)
 		spec, t := orthotrees.DFT(m, xs)
-		fmt.Printf("%d-point DFT; |X[0]| = %.3f\n", *n, abs(spec[0]))
+		say("%d-point DFT; |X[0]| = %.3f\n", *n, abs(spec[0]))
 		elapsed, area = t, m.Area()
 	case "closure":
 		m, err := orthotrees.NewMatMulMachine(*n)
@@ -162,7 +185,7 @@ func main() {
 				reach += int(closure[i][j])
 			}
 		}
-		fmt.Printf("transitive closure of %d vertices: %d reachable pairs\n", *n, reach)
+		say("transitive closure of %d vertices: %d reachable pairs\n", *n, reach)
 		elapsed, area = t, m.Area()
 	case "intmul":
 		m := machine(*n)
@@ -172,7 +195,7 @@ func main() {
 		y := new(big.Int).Lsh(big.NewInt(1), uint(bits-2))
 		y.Add(y, big.NewInt(6789))
 		p, t := orthotrees.MultiplyIntegers(m, x, y)
-		fmt.Printf("%d-bit × %d-bit integer product has %d bits\n", x.BitLen(), y.BitLen(), p.BitLen())
+		say("%d-bit × %d-bit integer product has %d bits\n", x.BitLen(), y.BitLen(), p.BitLen())
 		elapsed, area = t, m.Area()
 	case "matmul3d":
 		m3, err := orthotrees.NewMoT3D(*n, orthotrees.DefaultConfig(*n**n**n))
@@ -186,26 +209,213 @@ func main() {
 				ones += int(c[i][j])
 			}
 		}
-		fmt.Printf("3D mesh-of-trees Boolean %d×%d product: %d ones\n", *n, *n, ones)
+		say("3D mesh-of-trees Boolean %d×%d product: %d ones\n", *n, *n, ones)
 		elapsed, area = t, m3.Area()
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 
 	metric := orthotrees.Metric{Area: area, Time: elapsed}
-	fmt.Printf("network=%s model=%s N=%d: time=%d bit-times, area=%d λ², A·T²=%.4g\n",
+	say("network=%s model=%s N=%d: time=%d bit-times, area=%d λ², A·T²=%.4g\n",
 		*network, dm.Name(), *n, elapsed, area, metric.AT2())
 	if recorder != nil {
-		fmt.Print(recorder.Summary())
+		say("%s", recorder.Summary())
 	}
+	var runErr error
 	if *faults > 0 {
 		if faulted == nil {
 			fail(fmt.Errorf("-faults is not supported by -alg %s", *alg))
 		}
-		fmt.Print(faulted.HealthReport())
-		if err := faulted.Err(); err != nil {
-			fail(fmt.Errorf("simulation did not recover: %w", err))
+		say("%s", faulted.HealthReport())
+		runErr = faulted.Err()
+	}
+	if *jsonOut {
+		rep := report{
+			Alg: *alg, Network: *network, Model: dm.Name(), N: *n, Seed: *seed,
+			Time: int64(elapsed), Area: int64(area), AT2: metric.AT2(),
+			Faults: *faults, Recovered: runErr == nil,
 		}
+		if faulted != nil {
+			rep.Health = healthJSONOf(faulted.Health())
+		}
+		if runErr != nil {
+			rep.Error = runErr.Error()
+		}
+		emitJSON(rep)
+	}
+	if runErr != nil {
+		fail(fmt.Errorf("simulation did not recover: %w", runErr))
+	}
+}
+
+// report is the -json schema: one object on stdout per run, covering
+// the model outputs and — for faulty or supervised runs — the health
+// and recovery ledger. Recovered is false exactly when the process
+// exits non-zero.
+type report struct {
+	Alg     string `json:"alg"`
+	Network string `json:"network"`
+	Model   string `json:"model"`
+	N       int    `json:"n"`
+	Seed    uint64 `json:"seed"`
+	// Supervised runs: the arrival count and the fault-free baseline.
+	Events      int   `json:"events,omitempty"`
+	HealthyTime int64 `json:"healthy_time,omitempty"`
+
+	Time int64   `json:"time_bit_times"`
+	Area int64   `json:"area_lambda2"`
+	AT2  float64 `json:"at2"`
+
+	Faults    int         `json:"faults,omitempty"`
+	Recovered bool        `json:"recovered"`
+	Correct   *bool       `json:"correct,omitempty"`
+	Health    *healthJSON `json:"health,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// healthJSON flattens the fault/recovery ledger for the -json report.
+type healthJSON struct {
+	DeadEdges          int   `json:"dead_edges"`
+	DeadIPs            int   `json:"dead_ips"`
+	StuckBPs           int   `json:"stuck_bps"`
+	Transients         int   `json:"transients"`
+	Retries            int   `json:"retries"`
+	Reroutes           int   `json:"reroutes"`
+	RetryLatency       int64 `json:"retry_latency_bit_times"`
+	RerouteLatency     int64 `json:"reroute_latency_bit_times"`
+	Arrivals           int   `json:"arrivals"`
+	Checkpoints        int   `json:"checkpoints"`
+	Rollbacks          int   `json:"rollbacks"`
+	Healed             int   `json:"healed"`
+	CheckpointOverhead int64 `json:"checkpoint_overhead_bit_times"`
+	RollbackLatency    int64 `json:"rollback_latency_bit_times"`
+	Failures           int   `json:"failures"`
+}
+
+func healthJSONOf(h *orthotrees.Health) *healthJSON {
+	if h == nil {
+		return nil
+	}
+	return &healthJSON{
+		DeadEdges: h.DeadEdges, DeadIPs: h.DeadIPs, StuckBPs: h.StuckBPs,
+		Transients: h.Transients, Retries: h.Retries, Reroutes: h.Reroutes,
+		RetryLatency:   int64(h.RetryLatency),
+		RerouteLatency: int64(h.RerouteLatency),
+		Arrivals:       h.Arrivals, Checkpoints: h.Checkpoints,
+		Rollbacks: h.Rollbacks, Healed: h.Healed,
+		CheckpointOverhead: int64(h.CheckpointOverhead),
+		RollbackLatency:    int64(h.RollbackLatency),
+		Failures:           h.Failures(),
+	}
+}
+
+func emitJSON(rep report) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(string(data))
+}
+
+// runSupervised is the -schedule mode: run sort or cc under the
+// checkpoint/rollback recovery supervisor with `events` mid-run
+// dead-edge arrivals. The fault-free baseline run fixes the schedule
+// horizon (arrivals land strictly inside the computation) and the
+// reference answer; a zero-event schedule is bit-identical to the
+// baseline. Exits non-zero when the supervisor gave up or the
+// recovered answer is wrong.
+func runSupervised(alg string, n int, network string, dm vlsi.DelayModel, seed uint64, events int, jsonOut bool, say func(string, ...any)) {
+	if alg != "sort" && alg != "cc" {
+		fail(fmt.Errorf("-schedule supports -alg sort or cc, not %q", alg))
+	}
+	cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(n * n), Model: dm}
+	build := func() *orthotrees.Machine {
+		var m *orthotrees.Machine
+		var err error
+		switch network {
+		case "otn":
+			m, err = orthotrees.NewOTNWith(n, cfg)
+		case "scaled":
+			m, err = orthotrees.NewScaledOTN(n, cfg)
+		default:
+			err = fmt.Errorf("-schedule names OTN tree sites; use -network otn or scaled")
+		}
+		fail(err)
+		return m
+	}
+
+	// Fault-free baseline: fixes the horizon and the reference answer.
+	healthy := build()
+	rng := orthotrees.NewRNG(seed)
+	var xs []int64
+	var g *orthotrees.Graph
+	var want []int64
+	var healthyT orthotrees.Time
+	if alg == "sort" {
+		xs = rng.Perm(n)
+		want, healthyT = orthotrees.Sort(healthy, xs)
+	} else {
+		g = rng.Gnp(n, 2.0/float64(n))
+		orthotrees.LoadGraph(healthy, g)
+		want, healthyT = orthotrees.ConnectedComponents(healthy)
+	}
+	fail(healthy.Err())
+
+	m := build()
+	sched := orthotrees.RandomFaultSchedule(n, events, healthyT, seed)
+	var prog *orthotrees.RecoveryProgram
+	var out func() []int64
+	var err error
+	if alg == "sort" {
+		prog, out, err = orthotrees.SortProgram(m, xs)
+	} else {
+		prog, out, err = orthotrees.ComponentsProgram(m, g)
+	}
+	fail(err)
+	done, runErr := orthotrees.Supervise(m, sched, prog, orthotrees.RecoveryOptions{})
+
+	correct := false
+	if runErr == nil {
+		got := out()
+		if alg == "sort" {
+			correct = len(got) == len(want)
+			for i := range got {
+				correct = correct && got[i] == want[i]
+			}
+		} else {
+			correct = orthotrees.SamePartition(got, want)
+		}
+	}
+	recovered := runErr == nil && correct
+
+	say("supervised %s on a (%d×%d)-OTN (%s): %d scheduled arrival(s)\n", alg, n, n, network, events)
+	say("  healthy baseline: %d bit-times\n", int64(healthyT))
+	say("  supervised run:   %d bit-times (%.3fx)\n", int64(done), float64(done)/float64(healthyT))
+	if h := m.Health(); h != nil {
+		say("%s", h.Report())
+	} else {
+		say("  empty schedule: recovery machinery never engaged\n")
+	}
+
+	if jsonOut {
+		metric := orthotrees.Metric{Area: m.Area(), Time: done}
+		rep := report{
+			Alg: alg, Network: network, Model: dm.Name(), N: n, Seed: seed,
+			Events: events, HealthyTime: int64(healthyT),
+			Time: int64(done), Area: int64(m.Area()), AT2: metric.AT2(),
+			Recovered: recovered, Correct: &correct,
+			Health: healthJSONOf(m.Health()),
+		}
+		if runErr != nil {
+			rep.Error = runErr.Error()
+		}
+		emitJSON(rep)
+	}
+	if runErr != nil {
+		fail(fmt.Errorf("supervisor gave up: %w", runErr))
+	}
+	if !correct {
+		fail(fmt.Errorf("supervised %s recovered but answered wrong", alg))
 	}
 }
 

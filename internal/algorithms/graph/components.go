@@ -80,6 +80,19 @@ func ConnectedComponents(m *core.Machine, rel vlsi.Time) ([]int64, vlsi.Time) {
 	return d, t
 }
 
+// ComponentsRound exposes one hook-and-contract iteration for
+// step-decomposed execution (the recovery supervisor of
+// internal/resilience re-runs the exact loop body ConnectedComponents
+// uses, one checkpointable step per round). It returns the new
+// labels, the completion time and whether anything moved.
+func ComponentsRound(m *core.Machine, d []int64, rel vlsi.Time) ([]int64, vlsi.Time, bool) {
+	return ccRound(m, d, rel)
+}
+
+// ComponentsMaxRounds is the iteration bound ConnectedComponents uses
+// for an n-vertex graph.
+func ComponentsMaxRounds(n int) int { return vlsi.Log2Ceil(n) + 2 }
+
 // ccRound performs one hook-and-contract iteration, returning the new
 // labels, the completion time and whether anything moved.
 func ccRound(m *core.Machine, d []int64, rel vlsi.Time) ([]int64, vlsi.Time, bool) {

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/algorithms/graph"
+	"repro/internal/fault"
+	"repro/internal/resilience"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// This file prices dynamic faults the way faultsweep.go prices static
+// ones: for each arrival count the sweep derives a seed-reproducible
+// fault schedule whose dead-edge events land strictly inside the
+// healthy run, executes SORT-OTN and CONNECTED-COMPONENTS under the
+// checkpoint/rollback supervisor, checks the answers against
+// fault-free references, and itemizes what recovery cost — arrivals
+// merged, checkpoints written, rollbacks replayed — in bit-times on
+// the A·T² ledger. The zero-event point doubles as the free-when-empty
+// proof: it must be bit-identical to the healthy baseline.
+
+// RecoveryPoint is one measured point: one workload run under one
+// fault-arrival schedule.
+type RecoveryPoint struct {
+	// Workload names the program ("sort" or "components").
+	Workload string
+	// N is the problem size; Events the number of scheduled arrivals.
+	N, Events int
+	// Healthy and Supervised are the fault-free and supervised finish
+	// times; Overhead is their ratio (1.0 at zero events, by
+	// construction).
+	Healthy, Supervised vlsi.Time
+	Overhead            float64
+	// Arrivals/Checkpoints/Rollbacks itemize the recovery work;
+	// RecoveryAdded is the bit-times charged for it (checkpoint
+	// overhead + rollback latency).
+	Arrivals, Checkpoints, Rollbacks int
+	RecoveryAdded                    vlsi.Time
+	// Correct reports the supervised answer matched the reference;
+	// Recovered that the supervisor finished without giving up.
+	Correct, Recovered bool
+}
+
+// RecoverySweep is the full experiment: both workloads across a range
+// of arrival counts at one machine size.
+type RecoverySweep struct {
+	N      int
+	Seed   uint64
+	Points []RecoveryPoint
+}
+
+// RecoverySweepStudy measures supervised SORT-OTN and
+// CONNECTED-COMPONENTS on an (n×n)-OTN under 0..maxEvents mid-run
+// dead-edge arrivals. Schedules derive entirely from the seed, so the
+// whole sweep — including every rollback — is reproducible. A
+// schedule that isolates a BP from both its trees is reported as
+// unrecovered rather than failing the sweep; that boundary is part of
+// the measurement.
+func RecoverySweepStudy(n, maxEvents int, seedIn uint64) (*RecoverySweep, error) {
+	s := &RecoverySweep{N: n, Seed: seedIn}
+	xs := workload.NewRNG(seedIn).Perm(n)
+	wantSorted := append([]int64(nil), xs...)
+	insertionSort(wantSorted)
+	g := workload.NewRNG(seedIn+1).ComponentsGraph(n, 4)
+	wantLabels := graph.RefComponents(g)
+
+	healthySort, err := timeSort(n, xs, nil)
+	if err != nil {
+		return nil, err
+	}
+	healthyCC, err := timeComponents(n, g, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	for ev := 0; ev <= maxEvents; ev++ {
+		sched := fault.RandomSchedule(n, ev, healthySort.point.Degraded, seedIn+uint64(ev)*0x79B9)
+		ps, sorted, err := superviseSort(n, xs, sched)
+		if err != nil {
+			return nil, fmt.Errorf("supervised sort with %d events: %w", ev, err)
+		}
+		ps.Workload, ps.N, ps.Events = "sort", n, ev
+		ps.Healthy = healthySort.point.Degraded
+		ps.Overhead = float64(ps.Supervised) / float64(ps.Healthy)
+		ps.Correct = ps.Recovered && equalWords(sorted, wantSorted)
+		s.Points = append(s.Points, ps)
+
+		sched = fault.RandomSchedule(n, ev, healthyCC.point.Degraded, seedIn+uint64(ev)*0xC2B2+1)
+		pc, labels, err := superviseComponents(n, g, sched)
+		if err != nil {
+			return nil, fmt.Errorf("supervised components with %d events: %w", ev, err)
+		}
+		pc.Workload, pc.N, pc.Events = "components", n, ev
+		pc.Healthy = healthyCC.point.Degraded
+		pc.Overhead = float64(pc.Supervised) / float64(pc.Healthy)
+		pc.Correct = pc.Recovered && graph.SamePartition(labels, wantLabels)
+		s.Points = append(s.Points, pc)
+	}
+	return s, nil
+}
+
+// harvestRecovery copies the supervisor's ledger lines into a point.
+func harvestRecovery(h *fault.Health, p *RecoveryPoint) {
+	if h == nil {
+		return
+	}
+	p.Arrivals = h.Arrivals
+	p.Checkpoints = h.Checkpoints
+	p.Rollbacks = h.Rollbacks
+	p.RecoveryAdded = h.CheckpointOverhead + h.RollbackLatency
+}
+
+// giveUp reports whether err is the supervisor abandoning an
+// unrecoverable run (a measured outcome, not a sweep failure).
+func giveUp(err error) bool {
+	var g *resilience.GiveUpError
+	return errors.As(err, &g)
+}
+
+func superviseSort(n int, xs []int64, sched *fault.Schedule) (RecoveryPoint, []int64, error) {
+	m, release, err := cachedOTN(n, vlsi.DefaultConfig(n*n))
+	if err != nil {
+		return RecoveryPoint{}, nil, err
+	}
+	defer release()
+	prog, out, err := resilience.SortProgram(m, xs)
+	if err != nil {
+		return RecoveryPoint{}, nil, err
+	}
+	done, rerr := resilience.Run(m, sched, prog, 0, resilience.Options{})
+	p := RecoveryPoint{Supervised: done, Recovered: rerr == nil}
+	harvestRecovery(m.Health(), &p)
+	if rerr != nil && !giveUp(rerr) {
+		return p, nil, rerr
+	}
+	return p, out(), nil
+}
+
+func superviseComponents(n int, g *workload.Graph, sched *fault.Schedule) (RecoveryPoint, []int64, error) {
+	m, release, err := cachedOTN(n, vlsi.DefaultConfig(n*n))
+	if err != nil {
+		return RecoveryPoint{}, nil, err
+	}
+	defer release()
+	prog, out, err := resilience.ComponentsProgram(m, g)
+	if err != nil {
+		return RecoveryPoint{}, nil, err
+	}
+	done, rerr := resilience.Run(m, sched, prog, 0, resilience.Options{})
+	p := RecoveryPoint{Supervised: done, Recovered: rerr == nil}
+	harvestRecovery(m.Health(), &p)
+	if rerr != nil && !giveUp(rerr) {
+		return p, nil, rerr
+	}
+	return p, out(), nil
+}
+
+// Render prints the sweep as an aligned text table.
+func (s *RecoverySweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovery sweep on a (%d×%d)-OTN, seed %d (supervised, mid-run arrivals)\n", s.N, s.N, s.Seed)
+	fmt.Fprintf(&b, "%-12s %7s %12s %9s %9s %11s %10s %12s %s\n",
+		"workload", "events", "time", "overhead", "arrivals", "checkpoints", "rollbacks", "+bit-times", "status")
+	for _, p := range s.Points {
+		status := "ok"
+		switch {
+		case !p.Recovered:
+			status = "UNRECOVERED"
+		case !p.Correct:
+			status = "WRONG ANSWER"
+		}
+		fmt.Fprintf(&b, "%-12s %7d %12d %9.3f %9d %11d %10d %12d %s\n",
+			p.Workload, p.Events, p.Supervised, p.Overhead,
+			p.Arrivals, p.Checkpoints, p.Rollbacks, p.RecoveryAdded, status)
+	}
+	return b.String()
+}
+
+// Markdown renders the sweep as a GitHub-flavoured markdown table.
+func (s *RecoverySweep) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Recovery sweep — (%d×%d)-OTN, seed %d\n\n", s.N, s.N, s.Seed)
+	b.WriteString("| workload | events | time (bit-times) | overhead | arrivals | checkpoints | rollbacks | recovery bit-times | status |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, p := range s.Points {
+		status := "ok"
+		switch {
+		case !p.Recovered:
+			status = "unrecovered"
+		case !p.Correct:
+			status = "wrong answer"
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %.3f | %d | %d | %d | %d | %s |\n",
+			p.Workload, p.Events, p.Supervised, p.Overhead,
+			p.Arrivals, p.Checkpoints, p.Rollbacks, p.RecoveryAdded, status)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoverySweepZeroEventFree pins the free-when-empty contract at
+// the study level: the zero-event points must be bit-identical to the
+// direct healthy baselines — same finish time, overhead exactly 1.0,
+// and no recovery machinery engaged (no arrivals, checkpoints,
+// rollbacks or added bit-times).
+func TestRecoverySweepZeroEventFree(t *testing.T) {
+	n := 8
+	s, err := RecoverySweepStudy(n, 2, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 6 {
+		t.Fatalf("got %d points, want 6 (2 workloads × 3 event counts)", len(s.Points))
+	}
+	for _, p := range s.Points[:2] {
+		if p.Events != 0 {
+			t.Fatalf("first points should be the zero-event baselines, got %d events", p.Events)
+		}
+		if p.Supervised != p.Healthy {
+			t.Fatalf("%s: zero-event supervised run took %d, healthy baseline %d", p.Workload, p.Supervised, p.Healthy)
+		}
+		if p.Overhead != 1.0 {
+			t.Fatalf("%s: zero-event overhead = %v, want exactly 1.0", p.Workload, p.Overhead)
+		}
+		if p.Arrivals != 0 || p.Checkpoints != 0 || p.Rollbacks != 0 || p.RecoveryAdded != 0 {
+			t.Fatalf("%s: zero-event point engaged recovery machinery: %+v", p.Workload, p)
+		}
+		if !p.Correct || !p.Recovered {
+			t.Fatalf("%s: zero-event point not clean: %+v", p.Workload, p)
+		}
+	}
+}
+
+// TestRecoverySweepMidRunRecovers checks the non-trivial points: every
+// recovered point must be correct, recovery work must be itemized when
+// arrivals landed, and repeated studies must agree exactly (the sweep
+// is a pure function of its seed).
+func TestRecoverySweepMidRunRecovers(t *testing.T) {
+	n := 8
+	s, err := RecoverySweepStudy(n, 2, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawArrival := false
+	for _, p := range s.Points {
+		if p.Recovered && !p.Correct {
+			t.Fatalf("%s with %d events recovered but answered wrong", p.Workload, p.Events)
+		}
+		if p.Arrivals > 0 {
+			sawArrival = true
+			if p.Checkpoints == 0 {
+				t.Fatalf("%s with %d events merged arrivals without checkpointing", p.Workload, p.Events)
+			}
+			if p.Supervised <= p.Healthy {
+				t.Fatalf("%s with %d events: supervised %d not slower than healthy %d", p.Workload, p.Events, p.Supervised, p.Healthy)
+			}
+		}
+	}
+	if !sawArrival {
+		t.Fatal("no sweep point saw a mid-run arrival; schedules are not landing inside the run")
+	}
+
+	again, err := RecoverySweepStudy(n, 2, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Points {
+		if s.Points[i] != again.Points[i] {
+			t.Fatalf("point %d differs across identical studies:\n  %+v\n  %+v", i, s.Points[i], again.Points[i])
+		}
+	}
+
+	if txt := s.Render(); !strings.Contains(txt, "recovery sweep") {
+		t.Fatalf("Render missing header:\n%s", txt)
+	}
+	if md := s.Markdown(); !strings.Contains(md, "| workload |") {
+		t.Fatalf("Markdown missing table header:\n%s", md)
+	}
+}

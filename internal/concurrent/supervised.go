@@ -1,0 +1,76 @@
+package concurrent
+
+import (
+	"context"
+
+	"repro/internal/fault"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+)
+
+// RunSupervised is the engine's dynamic-fault mode, mirroring the
+// checkpoint/rollback supervisor of internal/resilience on one
+// broadcast: the operation starts on healthy hardware, and the fault
+// view f is announced at simulated time at. If the operation
+// completes before the fault lands, nothing happened. If the fault
+// lands mid-flight, the attempt is discarded — exactly one rollback
+// to the pre-operation checkpoint — and the broadcast replays on the
+// degraded goroutine graph, released at the detection time plus one
+// restore copy and one backoff step from the shared cost model in
+// internal/fault. Because both sides charge from that model, the
+// replay's per-leaf times must match the deterministic supervisor's
+// degraded times exactly (tree router: Snapshot → SetFaults →
+// Restore → Broadcast at the same release).
+//
+// The engine must start healthy: announced or blind views attached
+// beforehand are a misuse. On return the fault view is left attached
+// when it was announced (the hardware really is dead now); recovered
+// reports whether the rollback happened.
+func (e *Engine) RunSupervised(ctx context.Context, val int64, rel vlsi.Time, f *fault.TreeFaults, at vlsi.Time) (vals []int64, times []vlsi.Time, recovered bool, err error) {
+	if e.faults != nil || e.blind != nil {
+		return nil, nil, false, &FaultModeError{Op: "RunSupervised"}
+	}
+	vals, times, err = e.Broadcast(ctx, val, rel)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	done := rel
+	for _, tm := range times {
+		if tm > done {
+			done = tm
+		}
+	}
+	if f == nil || at > done {
+		return vals, times, false, nil
+	}
+	// The fault struck while words were in flight: announce it, roll
+	// back (the checkpoint is the pre-operation state, which for the
+	// stateless engine is simply a fresh graph), and replay degraded.
+	e.SetFaults(f)
+	replayAt := done + fault.CheckpointCost(1, e.cfg.WordBits) + fault.Backoff(1, e.cfg.WordBits)
+	vals, times, err = e.Broadcast(ctx, val, replayAt)
+	if err != nil {
+		return nil, nil, true, err
+	}
+	return vals, times, true, nil
+}
+
+// SupervisedReference computes the deterministic supervisor's view
+// of the same recovery on a tree router: healthy broadcast from rel,
+// and — when the fault lands at or before the healthy completion —
+// a rollback (state restore) and a degraded replay at the identical
+// release time. RunSupervised's per-leaf times must equal these
+// exactly; the concurrent tests pin that.
+func SupervisedReference(rtr *tree.Tree, rel vlsi.Time, f *fault.TreeFaults, at vlsi.Time, wordBits int) (times []vlsi.Time, recovered bool) {
+	snap := rtr.Snapshot()
+	per, done := rtr.Broadcast(rel)
+	out := append([]vlsi.Time(nil), per...)
+	if f == nil || at > done {
+		return out, false
+	}
+	rtr.SetFaults(f)
+	rtr.Restore(snap)
+	replayAt := done + fault.CheckpointCost(1, wordBits) + fault.Backoff(1, wordBits)
+	per, _ = rtr.Broadcast(replayAt)
+	return append(out[:0], per...), true
+}

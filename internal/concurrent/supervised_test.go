@@ -1,0 +1,85 @@
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+)
+
+// TestRunSupervisedMatchesDeterministic is the acceptance contract of
+// the engine's dynamic-fault mode: for healthy completions, mid-run
+// arrivals and cut subtrees alike, the per-leaf times of
+// RunSupervised must equal the deterministic supervisor's reference
+// (healthy attempt, rollback, degraded replay at the shared cost
+// model's release) bit for bit.
+func TestRunSupervisedMatchesDeterministic(t *testing.T) {
+	k := 16
+	g, cfg := geom(t, k)
+	cases := []struct {
+		name string
+		plan *fault.Plan
+		at   int64
+	}{
+		{"after-completion", fault.New(1).KillEdge(true, 0, 2), 1 << 40},
+		{"mid-run-edge", fault.New(2).KillEdge(true, 0, 2), 1},
+		{"mid-run-leaf", fault.New(3).KillEdge(true, 0, k+3), 5},
+		{"mid-run-two-cuts", fault.New(4).KillEdge(true, 0, 3).KillEdge(true, 0, k+7), 9},
+		{"no-fault", nil, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtr, err := tree.New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var engView, rtrView *fault.TreeFaults
+			if tc.plan != nil {
+				engView = tc.plan.ForTree(true, 0, k, nil)
+				rtrView = tc.plan.ForTree(true, 0, k, nil)
+			}
+			at := vlsi.Time(tc.at)
+			vals, times, recovered, err := eng.RunSupervised(context.Background(), 42, 17, engView, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantRec := SupervisedReference(rtr, 17, rtrView, at, cfg.WordBits)
+			if recovered != wantRec {
+				t.Fatalf("recovered = %v, reference %v", recovered, wantRec)
+			}
+			for j := 0; j < k; j++ {
+				if times[j] != want[j] {
+					t.Fatalf("leaf %d: engine %d vs deterministic %d", j, times[j], want[j])
+				}
+				if times[j] != tree.Unreached && vals[j] != 42 {
+					t.Fatalf("leaf %d received %d, want 42", j, vals[j])
+				}
+			}
+		})
+	}
+}
+
+// TestRunSupervisedRejectsAttachedFaults pins the healthy-start
+// contract: an engine with a fault view already attached cannot run
+// supervised.
+func TestRunSupervisedRejectsAttachedFaults(t *testing.T) {
+	k := 4
+	g, cfg := geom(t, k)
+	eng, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetFaults(fault.New(1).WithTransients(0.5).ForTree(true, 0, k, nil))
+	_, _, _, err = eng.RunSupervised(context.Background(), 1, 0, nil, 0)
+	var fm *FaultModeError
+	if !errors.As(err, &fm) {
+		t.Fatalf("err = %v, want *FaultModeError", err)
+	}
+}

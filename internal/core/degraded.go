@@ -32,11 +32,16 @@ func (m *Machine) InjectFaults(p *fault.Plan) error {
 	if err := p.Validate(m.K, m.K); err != nil {
 		return err
 	}
-	h := &fault.Health{
-		DeadEdges: len(p.DeadEdges),
-		DeadIPs:   len(p.DeadIPs),
-		StuckBPs:  len(p.StuckBPs),
+	// Reuse a ledger attached earlier (EnsureHealth): the supervisor
+	// charges checkpoint overhead before the first fault materializes,
+	// and those costs must survive the injection.
+	h := m.health
+	if h == nil {
+		h = &fault.Health{}
 	}
+	h.DeadEdges = len(p.DeadEdges)
+	h.DeadIPs = len(p.DeadIPs)
+	h.StuckBPs = len(p.StuckBPs)
 	m.plan, m.health, m.faulty = p, h, true
 	for i := 0; i < m.K; i++ {
 		m.rows[i].ApplyFaults(p, true, i, h)
@@ -49,6 +54,45 @@ func (m *Machine) InjectFaults(p *fault.Plan) error {
 		}
 	}
 	return nil
+}
+
+// MergeFaults folds additional faults into the machine's live plan
+// mid-run: the union plan is validated, re-projected onto every
+// router, and the stuck-BP set extended, all while the existing
+// health ledger keeps accumulating. It marks the machine's fault
+// history as dynamic (FaultsMutated), which the machine cache uses
+// to drop the machine on Return. Re-projection zeroes each router's
+// ascent counter (tree.SetFaults semantics); the recovery supervisor
+// restores a checkpoint afterwards, which puts the counters back.
+func (m *Machine) MergeFaults(p *fault.Plan) error {
+	if p.Empty() {
+		return nil
+	}
+	merged := p
+	if m.faulty {
+		merged = m.plan.Union(p)
+	}
+	if err := m.InjectFaults(merged); err != nil {
+		return err
+	}
+	m.dynamic = true
+	return nil
+}
+
+// FaultsMutated reports whether the fault plan changed mid-run
+// (MergeFaults) — i.e. the machine's fault state is no longer the
+// one injected at checkout time.
+func (m *Machine) FaultsMutated() bool { return m.dynamic }
+
+// EnsureHealth returns the machine's health ledger, attaching an
+// empty one first if none exists. The recovery supervisor calls it
+// so checkpoint overhead is charged from the first snapshot on, even
+// before any fault has arrived.
+func (m *Machine) EnsureHealth() *fault.Health {
+	if m.health == nil {
+		m.health = &fault.Health{}
+	}
+	return m.health
 }
 
 // Health returns the machine's fault health ledger, nil when no

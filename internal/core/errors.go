@@ -49,6 +49,16 @@ func (e *MisuseError) Error() string {
 	return fmt.Sprintf("core: %s: %s", e.Op, e.Reason)
 }
 
+// SnapshotError reports a checkpoint attempted on a machine whose
+// routers cannot capture or restore their state.
+type SnapshotError struct {
+	Reason string
+}
+
+func (e *SnapshotError) Error() string {
+	return "core: snapshot: " + e.Reason
+}
+
 // fail records err as the machine's sticky error (first error wins)
 // and mirrors it into the fault health report when one is attached.
 // The lock makes "first" well defined when parallel ParDo bodies fail

@@ -202,6 +202,11 @@ type Machine struct {
 	plan   *fault.Plan
 	health *fault.Health
 	stuck  map[[2]int]bool
+	// dynamic records that the plan mutated mid-run (MergeFaults):
+	// the recovery supervisor merged arrivals into the live plan, so
+	// the machine's fault history is no longer "as injected" — the
+	// machine cache drops such machines rather than proving a scrub.
+	dynamic bool
 
 	// workers is the host worker-pool width for ParDo (0 = one per
 	// CPU); disjointRouters records that every row and column router

@@ -16,7 +16,11 @@ import "repro/internal/fault"
 // schedules included) and the plan, health ledger and stuck-BP set
 // are discarded. A machine that never had a plan is untouched.
 func (m *Machine) ClearFaults() {
+	m.dynamic = false
 	if !m.faulty {
+		// EnsureHealth may have attached a ledger to a machine that
+		// never received a plan; drop it with the rest.
+		m.health = nil
 		return
 	}
 	// An empty plan projects a nil view onto every tree, which is the

@@ -1,0 +1,36 @@
+package fault
+
+import "repro/internal/vlsi"
+
+// Recovery cost model for the checkpoint/rollback supervisor
+// (internal/resilience) and the concurrent engine's RunSupervised
+// mode. Both must charge identical bit-times so their degraded
+// completion times match exactly; keeping the arithmetic here — next
+// to the ledger that records it — is what enforces that.
+//
+// The physical story: every BP carries shadow latches for its live
+// register banks. A checkpoint copies `banks` registers bit-serially
+// into the shadows, all BPs in parallel, so it costs banks·w
+// bit-times regardless of K. A restore is the mirror copy at the same
+// cost. After the r-th consecutive rollback the supervisor waits an
+// extra r·w bit-times before releasing the replay — a bounded, linear
+// backoff that deterministically separates the retry from whatever
+// transient storm triggered it.
+
+// CheckpointCost is the bit-times one snapshot (or one restore) of
+// `banks` register banks of w-bit words adds to the run.
+func CheckpointCost(banks, wordBits int) vlsi.Time {
+	if banks < 1 {
+		banks = 1
+	}
+	return vlsi.Time(banks * wordBits)
+}
+
+// Backoff is the extra settle time charged before releasing the
+// attempt-th replay (attempt counts from 1).
+func Backoff(attempt, wordBits int) vlsi.Time {
+	if attempt < 1 {
+		attempt = 1
+	}
+	return vlsi.Time(attempt * wordBits)
+}

@@ -173,8 +173,13 @@ func (p *Plan) Validate(k, treeK int) error {
 // Random returns a plan of nFaults distinct dead tree edges scattered
 // uniformly over the 2k trees of a (k×k)-OTN, derived entirely from
 // the seed. The same (k, nFaults, seed) triple always yields the same
-// plan.
+// plan. nFaults is clamped to the 2k(2k−2) distinct edges a
+// (k×k)-OTN has — asking for more cannot produce more distinct sites,
+// only a rejection-sampling livelock.
 func Random(k, nFaults int, seed uint64) *Plan {
+	if edges := 2 * k * (2*k - 2); nFaults > edges {
+		nFaults = edges
+	}
 	p := New(seed)
 	rng := workload.NewRNG(seed)
 	seen := make(map[Site]bool, nFaults)
@@ -192,6 +197,45 @@ func Random(k, nFaults int, seed uint64) *Plan {
 		p.DeadEdges = append(p.DeadEdges, s)
 	}
 	return p
+}
+
+// Union returns a new plan combining p's faults with q's,
+// deduplicating sites. The seed, in-order site layout and retry bound
+// come from p (the live plan); q's transient rate and retry bound win
+// only where larger. Union is how a mid-run arrival merges into a
+// machine's live plan without disturbing what was already injected.
+func (p *Plan) Union(q *Plan) *Plan {
+	out := New(p.Seed)
+	out.TransientRate = p.TransientRate
+	if q.TransientRate > out.TransientRate {
+		out.TransientRate = q.TransientRate
+	}
+	out.MaxRetries = p.MaxRetries
+	if q.MaxRetries > out.MaxRetries {
+		out.MaxRetries = q.MaxRetries
+	}
+	seenSite := make(map[Site]bool, len(p.DeadEdges)+len(q.DeadEdges))
+	for _, s := range append(append([]Site{}, p.DeadEdges...), q.DeadEdges...) {
+		if !seenSite[s] {
+			seenSite[s] = true
+			out.DeadEdges = append(out.DeadEdges, s)
+		}
+	}
+	seenIP := make(map[Site]bool, len(p.DeadIPs)+len(q.DeadIPs))
+	for _, s := range append(append([]Site{}, p.DeadIPs...), q.DeadIPs...) {
+		if !seenIP[s] {
+			seenIP[s] = true
+			out.DeadIPs = append(out.DeadIPs, s)
+		}
+	}
+	seenBP := make(map[BP]bool, len(p.StuckBPs)+len(q.StuckBPs))
+	for _, b := range append(append([]BP{}, p.StuckBPs...), q.StuckBPs...) {
+		if !seenBP[b] {
+			seenBP[b] = true
+			out.StuckBPs = append(out.StuckBPs, b)
+		}
+	}
+	return out
 }
 
 // TreeFaults is the per-tree projection of a plan: what one row or

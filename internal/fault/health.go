@@ -30,7 +30,86 @@ type Health struct {
 	RetryLatency   vlsi.Time
 	RerouteLatency vlsi.Time
 
+	// Dynamic-fault recovery, maintained by the checkpoint/rollback
+	// supervisor (internal/resilience). Zero on purely static runs.
+	Arrivals    int // mid-run fault events merged into the live plan
+	Checkpoints int // machine snapshots taken at primitive boundaries
+	Rollbacks   int // restores to the last consistent checkpoint
+	Healed      int // failures recorded by attempts later rolled back
+
+	// CheckpointOverhead is the bit-times spent writing snapshots;
+	// RollbackLatency is discarded work + restore copies + backoff.
+	CheckpointOverhead vlsi.Time
+	RollbackLatency    vlsi.Time
+
 	errs []error
+}
+
+// Checkpoint notes one snapshot and its bit-time cost.
+func (h *Health) Checkpoint(cost vlsi.Time) {
+	if h == nil {
+		return
+	}
+	h.Checkpoints++
+	h.CheckpointOverhead += cost
+}
+
+// Arrive notes n mid-run fault arrivals merged into the live plan.
+func (h *Health) Arrive(n int) {
+	if h != nil {
+		h.Arrivals += n
+	}
+}
+
+// Rollback notes one restore to the last checkpoint and the bit-times
+// it added (discarded work + restore copy + backoff), plus how many
+// recorded failures the rollback healed.
+func (h *Health) Rollback(added vlsi.Time, healed int) {
+	if h == nil {
+		return
+	}
+	h.Rollbacks++
+	h.RollbackLatency += added
+	h.Healed += healed
+}
+
+// CutFailures truncates the recorded failures back to the first keep
+// entries — the supervisor calls it after a rollback, because errors
+// observed by a discarded attempt were never committed — and returns
+// how many were dropped.
+func (h *Health) CutFailures(keep int) int {
+	if h == nil || keep < 0 || keep >= len(h.errs) {
+		return 0
+	}
+	dropped := len(h.errs) - keep
+	h.errs = h.errs[:keep]
+	return dropped
+}
+
+// Merge folds another ledger into h: counters and latencies add,
+// failure lists concatenate in call order. Batched lanes and
+// supervised replicas each record into a private ledger and merge in
+// lane order afterwards, which keeps the combined ledger deterministic
+// without sharing memory across goroutines.
+func (h *Health) Merge(o *Health) {
+	if h == nil || o == nil {
+		return
+	}
+	h.DeadEdges += o.DeadEdges
+	h.DeadIPs += o.DeadIPs
+	h.StuckBPs += o.StuckBPs
+	h.Transients += o.Transients
+	h.Retries += o.Retries
+	h.Reroutes += o.Reroutes
+	h.RetryLatency += o.RetryLatency
+	h.RerouteLatency += o.RerouteLatency
+	h.Arrivals += o.Arrivals
+	h.Checkpoints += o.Checkpoints
+	h.Rollbacks += o.Rollbacks
+	h.Healed += o.Healed
+	h.CheckpointOverhead += o.CheckpointOverhead
+	h.RollbackLatency += o.RollbackLatency
+	h.errs = append(h.errs, o.errs...)
 }
 
 // Reroute notes one word detoured through orthogonal trees and the
@@ -76,7 +155,7 @@ func (h *Health) AddedLatency() vlsi.Time {
 	if h == nil {
 		return 0
 	}
-	return h.RetryLatency + h.RerouteLatency
+	return h.RetryLatency + h.RerouteLatency + h.CheckpointOverhead + h.RollbackLatency
 }
 
 // Report renders the health counters as a human-readable block, the
@@ -92,6 +171,13 @@ func (h *Health) Report() string {
 		h.Transients, h.Retries, int64(h.RetryLatency))
 	fmt.Fprintf(&b, "  rerouted words:    %d (+%d bit-times)\n",
 		h.Reroutes, int64(h.RerouteLatency))
+	if h.Arrivals > 0 || h.Checkpoints > 0 || h.Rollbacks > 0 {
+		fmt.Fprintf(&b, "  mid-run arrivals:  %d (merged into the live plan)\n", h.Arrivals)
+		fmt.Fprintf(&b, "  checkpoints:       %d (+%d bit-times overhead)\n",
+			h.Checkpoints, int64(h.CheckpointOverhead))
+		fmt.Fprintf(&b, "  rollbacks:         %d (+%d bit-times replayed, %d failure(s) healed)\n",
+			h.Rollbacks, int64(h.RollbackLatency), h.Healed)
+	}
 	if n := len(h.errs); n > 0 {
 		fmt.Fprintf(&b, "  UNRECOVERED: %d failure(s); first: %v\n", n, h.errs[0])
 	} else {

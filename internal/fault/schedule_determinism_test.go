@@ -1,0 +1,131 @@
+// External test package: exercises the fault-schedule layer through
+// the recovery supervisor, which the fault package must not import.
+package fault_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/algorithms/sorting"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/resilience"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// recoveryTrace is everything observable about one supervised run:
+// the output, the finish time, the error outcome, and the full
+// recovery ledger. Two runs of the same seed must agree on all of it.
+type recoveryTrace struct {
+	Out  []int64
+	Done vlsi.Time
+	Err  string
+
+	Arrivals, Checkpoints, Rollbacks, Healed int
+	Reroutes, Transients, Failures           int
+	CheckpointOverhead, RollbackLatency      vlsi.Time
+}
+
+// runSupervisedSort executes supervised SORT-OTN on a fresh 8×8
+// machine under the given schedule and returns the full trace.
+func runSupervisedSort(t *testing.T, sched *fault.Schedule) recoveryTrace {
+	t.Helper()
+	k := 8
+	m, err := core.NewDefault(k, k*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := workload.NewRNG(11).Perm(k)
+	prog, out, err := resilience.SortProgram(m, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, rerr := resilience.Run(m, sched, prog, 0, resilience.Options{})
+	tr := recoveryTrace{Done: done}
+	if rerr != nil {
+		tr.Err = rerr.Error()
+	} else {
+		tr.Out = out()
+	}
+	if h := m.Health(); h != nil {
+		tr.Arrivals, tr.Checkpoints, tr.Rollbacks, tr.Healed = h.Arrivals, h.Checkpoints, h.Rollbacks, h.Healed
+		tr.Reroutes, tr.Transients, tr.Failures = h.Reroutes, h.Transients, h.Failures()
+		tr.CheckpointOverhead, tr.RollbackLatency = h.CheckpointOverhead, h.RollbackLatency
+	}
+	return tr
+}
+
+// FuzzScheduleDeterminism extends the fault layer's determinism
+// contract to dynamic arrivals: for ANY (seed, event count, horizon)
+// the derived schedule is reproducible, two supervised runs under it
+// produce bit-identical recovery traces — same rollbacks, same added
+// bit-times, same ledger — and a zero-event schedule is bit-identical
+// to running the program with no supervisor at all.
+func FuzzScheduleDeterminism(f *testing.F) {
+	f.Add(uint64(0), uint8(0), int64(100))
+	f.Add(uint64(7), uint8(1), int64(50))
+	f.Add(uint64(1983), uint8(2), int64(200))
+	f.Add(uint64(42), uint8(3), int64(1))
+	f.Add(uint64(0xDEADBEEF), uint8(5), int64(1000))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, horizonRaw int64) {
+		k := 8
+		n := int(nRaw) % 4
+		horizon := vlsi.Time(horizonRaw % 1000)
+		if horizon < 1 {
+			horizon = 1
+		}
+		s1 := fault.RandomSchedule(k, n, horizon, seed)
+		s2 := fault.RandomSchedule(k, n, horizon, seed)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("same seed, different schedules:\n%+v\n%+v", s1, s2)
+		}
+		if err := s1.Validate(k, k); err != nil {
+			t.Fatalf("RandomSchedule produced an invalid schedule: %v", err)
+		}
+		t1 := runSupervisedSort(t, s1)
+		t2 := runSupervisedSort(t, s2)
+		if !reflect.DeepEqual(t1, t2) {
+			t.Errorf("recovery traces differ:\n%+v\n%+v", t1, t2)
+		}
+		if s1.Empty() {
+			m, err := core.NewDefault(k, k*k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := workload.NewRNG(11).Perm(k)
+			want, done := sorting.SortOTN(m, xs, 0)
+			if t1.Done != done || !reflect.DeepEqual(t1.Out, want) {
+				t.Errorf("empty schedule not bit-identical to unsupervised run: time %d vs %d", t1.Done, done)
+			}
+			if t1.Checkpoints != 0 || t1.CheckpointOverhead != 0 {
+				t.Errorf("empty schedule engaged checkpoint machinery: %+v", t1)
+			}
+		}
+	})
+}
+
+// TestRandomClampsAtEdgeCount pins the termination fix in Random: a
+// request at or above the number of distinct dead-edge sites
+// (2k(2k−2) for a (k×k)-OTN) clamps instead of rejection-sampling
+// forever, and still yields distinct valid sites.
+func TestRandomClampsAtEdgeCount(t *testing.T) {
+	k := 4
+	edges := 2 * k * (2*k - 2)
+	for _, ask := range []int{edges, edges + 1, edges * 3} {
+		p := fault.Random(k, ask, 5)
+		if len(p.DeadEdges) != edges {
+			t.Fatalf("Random(k=%d, %d): got %d dead edges, want clamp to %d", k, ask, len(p.DeadEdges), edges)
+		}
+		if err := p.Validate(k, k); err != nil {
+			t.Fatalf("clamped plan invalid: %v", err)
+		}
+		seen := map[fault.Site]bool{}
+		for _, s := range p.DeadEdges {
+			if seen[s] {
+				t.Fatalf("duplicate site %v in clamped plan", s)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -97,12 +97,18 @@ func (c *Cache) Checkout(key Key, build func() (*core.Machine, error)) (*core.Ma
 // Checkout of key. A machine still carrying a sticky error is dropped
 // instead — the error says its last run went somewhere the recycle
 // contract was not written for, and rebuilding is cheap insurance.
+// A machine whose fault plan mutated mid-run (the recovery
+// supervisor's MergeFaults) is dropped for the same reason: its fault
+// history is no longer the one injected at checkout, so rather than
+// proving the dynamic state scrubbed we decline to park it (the
+// recycled-equals-fresh test in this package documents that a scrub
+// would in fact be clean — the drop is policy, not necessity).
 // Return accepts nil (from error paths) as a no-op.
 func (c *Cache) Return(key Key, m *core.Machine) {
 	if m == nil {
 		return
 	}
-	if m.Err() != nil {
+	if m.Err() != nil || m.FaultsMutated() {
 		c.mu.Lock()
 		c.stats.Drops++
 		c.mu.Unlock()

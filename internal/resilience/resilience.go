@@ -1,0 +1,274 @@
+// Package resilience runs multi-primitive OTN computations under
+// dynamic fault arrival: a seed-reproducible fault.Schedule delivers
+// dead-edge events at simulated bit-times that strike between or
+// during primitives, and a checkpoint/rollback supervisor keeps the
+// computation correct — and its recovery costs priced — through them.
+//
+// The execution model, per step of a Program:
+//
+//   - Arrivals at or before the step's release time merge into the
+//     machine's live plan between primitives: no words were in
+//     flight across the dying hardware, so nothing is lost and
+//     nothing is charged beyond the degraded routing itself.
+//   - Arrivals inside the step's (release, completion] window struck
+//     while words were in flight. The attempt is discarded: the
+//     supervisor merges the fault, restores the last checkpoint
+//     (register banks, tree roots, router occupancy and transient
+//     ascent counters — see core.Machine.Snapshot), and replays from
+//     the checkpointed step at the detection time plus a restore
+//     copy and a bounded, linearly growing backoff.
+//   - The same rollback answers a typed core error (a leaf isolated
+//     mid-attempt), a parity retry storm recorded in the ledger, or
+//     a result-checksum mismatch on a checked step.
+//
+// Every checkpoint, arrival and rollback is itemized in the
+// machine's extended fault.Health ledger, and all charges come from
+// the shared cost model in internal/fault, so the concurrent
+// engine's RunSupervised mode reproduces the identical degraded
+// times.
+//
+// The zero-event schedule is free: the supervisor takes a plain,
+// snapshot-less path that is bit-identical — times, results, hot-path
+// allocations — to running the steps with no supervisor at all, the
+// same free-when-empty discipline the empty fault.Plan obeys.
+//
+// A fault the redundancy argument cannot absorb — a BP cut from both
+// its row and column trees — fails every replay the same way; after
+// the bounded attempts the supervisor returns the machine's existing
+// sticky unrecoverable error rather than wedging.
+package resilience
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/vlsi"
+)
+
+// DefaultMaxAttempts bounds consecutive rollbacks to the same
+// checkpoint before the supervisor gives up and surfaces the error.
+const DefaultMaxAttempts = 3
+
+// Step is one checkpointable unit of a supervised computation —
+// typically one ParDo'd primitive sweep.
+type Step struct {
+	// Name labels the step in errors and traces.
+	Name string
+	// Run executes the step from release time rel and returns its
+	// completion time. Run bodies must be replayable: given the same
+	// machine state and release time they must issue the same
+	// operations (every program in this repository is deterministic,
+	// so this is the default).
+	Run func(rel vlsi.Time) vlsi.Time
+	// Check, when non-nil, validates the step's result (a free
+	// parity/checksum check in the hardware story). A non-nil return
+	// is treated as a detected fault and triggers a rollback. Checks
+	// run only under supervision with a non-empty schedule.
+	Check func() error
+	// Skip, when non-nil and true, elides the step (converged
+	// iterative programs skip their remaining rounds).
+	Skip func() bool
+}
+
+// Program is a step-decomposed computation plus hooks for the
+// host-side state (labels, convergence flags) that a rollback must
+// restore alongside the machine.
+type Program struct {
+	// Name labels the program in errors.
+	Name string
+	// Steps run in order.
+	Steps []Step
+	// Snapshot/Restore capture and reinstate host-side program state
+	// at checkpoints; nil when all state lives in the machine.
+	Snapshot func() any
+	Restore  func(any)
+}
+
+// Options tunes the supervisor.
+type Options struct {
+	// MaxAttempts bounds consecutive rollbacks to one checkpoint;
+	// 0 means DefaultMaxAttempts.
+	MaxAttempts int
+}
+
+func (o Options) attempts() int {
+	if o.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return o.MaxAttempts
+}
+
+// ChecksumError reports a checked step whose result failed
+// validation — the model's free end-to-end checksum.
+type ChecksumError struct {
+	Program string
+	Step    string
+	Reason  string
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("resilience: %s/%s: checksum mismatch: %s", e.Program, e.Step, e.Reason)
+}
+
+// GiveUpError reports a computation the supervisor abandoned after
+// exhausting its rollback budget; Cause is the final attempt's
+// failure (typically the machine's sticky unrecoverable error).
+type GiveUpError struct {
+	Program  string
+	Step     string
+	Attempts int
+	Cause    error
+}
+
+func (e *GiveUpError) Error() string {
+	return fmt.Sprintf("resilience: %s/%s: unrecoverable after %d attempt(s): %v",
+		e.Program, e.Step, e.Attempts, e.Cause)
+}
+
+func (e *GiveUpError) Unwrap() error { return e.Cause }
+
+// checkpoint is one consistent resume point.
+type checkpoint struct {
+	snap  *core.Snapshot
+	host  any
+	step  int
+	at    vlsi.Time // timeline position right after paying the snapshot cost
+	fails int       // ledger failures recorded when the checkpoint was taken
+}
+
+// Run executes prog on m under the fault schedule sched, releasing
+// the first step at rel, and returns the completion time. With an
+// empty schedule it takes the plain path: no checkpoints, no ledger,
+// no checks — bit-identical to running the steps directly.
+func Run(m *core.Machine, sched *fault.Schedule, prog *Program, rel vlsi.Time, opt Options) (vlsi.Time, error) {
+	if sched.Empty() {
+		t := rel
+		for i := range prog.Steps {
+			st := &prog.Steps[i]
+			if st.Skip != nil && st.Skip() {
+				continue
+			}
+			t = st.Run(t)
+		}
+		return t, m.Err()
+	}
+	if err := sched.Validate(m.K, m.K); err != nil {
+		return rel, err
+	}
+
+	h := m.EnsureHealth()
+	wb := m.WordBits()
+	maxAttempts := opt.attempts()
+	events := sched.Events
+	ei := 0
+
+	// deliver merges every event with At ≤ upTo into the live plan.
+	deliver := func(upTo vlsi.Time) (int, error) {
+		n := 0
+		var plan *fault.Plan
+		for ei < len(events) && events[ei].At <= upTo {
+			if plan == nil {
+				plan = fault.New(sched.Seed)
+			}
+			s := events[ei].Site
+			plan.KillEdge(s.Row, s.Tree, s.Node)
+			ei++
+			n++
+		}
+		if n > 0 {
+			if err := m.MergeFaults(plan); err != nil {
+				return n, err
+			}
+			h.Arrive(n)
+		}
+		return n, nil
+	}
+
+	// take checkpoints the machine and host state before step i,
+	// charging the snapshot copy to the timeline and the ledger.
+	take := func(i int, t vlsi.Time) (checkpoint, vlsi.Time, error) {
+		snap, err := m.Snapshot()
+		if err != nil {
+			return checkpoint{}, t, err
+		}
+		var host any
+		if prog.Snapshot != nil {
+			host = prog.Snapshot()
+		}
+		cost := fault.CheckpointCost(core.CheckpointBanks, wb)
+		h.Checkpoint(cost)
+		t += cost
+		return checkpoint{snap: snap, host: host, step: i, at: t, fails: h.Failures()}, t, nil
+	}
+
+	t := rel
+	cp, t, err := take(0, t)
+	if err != nil {
+		return t, err
+	}
+	attempts := 0
+	for i := 0; i < len(prog.Steps); {
+		st := &prog.Steps[i]
+		if st.Skip != nil && st.Skip() {
+			i++
+			continue
+		}
+		// Arrivals before the step starts merge between primitives:
+		// consistent state, nothing to roll back.
+		if _, err := deliver(t); err != nil {
+			return t, err
+		}
+		failsBefore := h.Failures()
+		t2 := st.Run(t)
+		struck := ei < len(events) && events[ei].At <= t2
+		failed := m.Err() != nil || h.Failures() > failsBefore
+		if !failed && !struck && st.Check != nil {
+			if cerr := st.Check(); cerr != nil {
+				h.Fail(cerr)
+				failed = true
+			}
+		}
+		if !struck && !failed {
+			t = t2
+			i++
+			attempts = 0
+			if i < len(prog.Steps) {
+				if cp, t, err = take(i, t); err != nil {
+					return t, err
+				}
+			}
+			continue
+		}
+		// Detected at t2: merge what struck, then either roll back or
+		// give up. Giving up leaves the machine's sticky error in
+		// place — degraded, not wedged.
+		if _, err := deliver(t2); err != nil {
+			return t2, err
+		}
+		if attempts >= maxAttempts {
+			cause := m.Err()
+			if cause == nil {
+				cause = h.Err()
+			}
+			return t2, &GiveUpError{Program: prog.Name, Step: st.Name, Attempts: attempts + 1, Cause: cause}
+		}
+		attempts++
+		restoreCost := fault.CheckpointCost(core.CheckpointBanks, wb)
+		backoff := fault.Backoff(attempts, wb)
+		if prog.Restore != nil {
+			prog.Restore(cp.host)
+		}
+		// Restore after the merge: MergeFaults re-projection zeroed
+		// the routers' ascent counters, Restore puts the checkpointed
+		// values back so the replay's transient schedule lines up.
+		if err := m.Restore(cp.snap); err != nil {
+			return t2, err
+		}
+		healed := h.CutFailures(cp.fails)
+		h.Rollback((t2-cp.at)+restoreCost+backoff, healed)
+		t = t2 + restoreCost + backoff
+		i = cp.step
+	}
+	return t, m.Err()
+}

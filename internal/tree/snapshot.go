@@ -1,0 +1,42 @@
+package tree
+
+import "repro/internal/vlsi"
+
+// State is a point-in-time copy of a router's mutable execution
+// state: the per-edge occupancy horizons and the combining-ascent
+// sequence number. It is what the recovery supervisor's
+// Machine.Snapshot captures per tree so a rollback replays the exact
+// same contention — and, because the transient-corruption schedule is
+// indexed by the ascent counter, the exact same transient draws — as
+// the discarded attempt.
+//
+// Fault topology (the attached TreeFaults view, reachability, cut
+// leaves) is deliberately NOT part of a State: faults merged after a
+// checkpoint must survive the rollback. Restore a State *after*
+// re-injecting the merged plan, never before.
+type State struct {
+	upFree, downFree []vlsi.Time
+	ascents          uint64
+}
+
+// Snapshot copies the router's occupancy and ascent counter.
+func (t *Tree) Snapshot() *State {
+	s := &State{
+		upFree:   make([]vlsi.Time, len(t.upFree)),
+		downFree: make([]vlsi.Time, len(t.downFree)),
+		ascents:  t.ascents,
+	}
+	copy(s.upFree, t.upFree)
+	copy(s.downFree, t.downFree)
+	return s
+}
+
+// Restore copies a previously captured State back into the router.
+// SetFaults zeroes the ascent counter, so callers that merged a new
+// plan restore the checkpoint state afterwards to keep the replay's
+// transient schedule aligned with the discarded attempt's.
+func (t *Tree) Restore(s *State) {
+	copy(t.upFree, s.upFree)
+	copy(t.downFree, s.downFree)
+	t.ascents = s.ascents
+}

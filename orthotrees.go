@@ -57,6 +57,7 @@ import (
 	"repro/internal/mot3d"
 	"repro/internal/otc"
 	"repro/internal/psn"
+	"repro/internal/resilience"
 	"repro/internal/vlsi"
 	"repro/internal/workload"
 )
@@ -110,6 +111,28 @@ type (
 	// slowdown of SORT-OTN and CONNECTED-COMPONENTS versus the
 	// number of injected faults.
 	FaultSweep = analysis.FaultSweep
+	// FaultSite names one tree site of an OTN: a row or column tree
+	// and a heap-indexed node within it.
+	FaultSite = fault.Site
+	// FaultEvent is one scheduled mid-run fault arrival: a dead-edge
+	// site striking at a simulated bit-time.
+	FaultEvent = fault.Event
+	// FaultSchedule is a seed-reproducible sequence of mid-run fault
+	// arrivals, executable under the recovery supervisor (Supervise).
+	FaultSchedule = fault.Schedule
+	// RecoveryProgram is a computation decomposed into checkpointable
+	// steps for the recovery supervisor (see SortProgram,
+	// ComponentsProgram and Supervise).
+	RecoveryProgram = resilience.Program
+	// RecoveryStep is one checkpoint-delimited step of a
+	// RecoveryProgram.
+	RecoveryStep = resilience.Step
+	// RecoveryOptions tunes the supervisor (retry budget).
+	RecoveryOptions = resilience.Options
+	// RecoverySweep is the dynamic-fault experiment: supervised
+	// SORT-OTN and CONNECTED-COMPONENTS versus the number of mid-run
+	// fault arrivals, with itemized checkpoint/rollback costs.
+	RecoverySweep = analysis.RecoverySweep
 	// Batch executes B independent program instances on one OTN's
 	// routing fabric at once (see NewBatch).
 	Batch = core.Batch
@@ -208,6 +231,56 @@ func RandomFaultPlan(k, nFaults int, seed uint64) *FaultPlan {
 // charged for the orthogonal-tree detours.
 func FaultSweepStudy(n, maxFaults int, seed uint64) (*FaultSweep, error) {
 	return analysis.FaultSweepStudy(n, maxFaults, seed)
+}
+
+// NewFaultSchedule returns an empty fault-arrival schedule (chain Add
+// then Sort onto it). Supervising under an empty schedule is
+// guaranteed bit-identical to running the program directly.
+func NewFaultSchedule(seed uint64) *FaultSchedule { return fault.NewSchedule(seed) }
+
+// RandomFaultSchedule returns a schedule of n distinct dead-edge
+// arrivals scattered over the trees of a (k×k)-OTN, with strike times
+// drawn uniformly from (0, horizon], derived entirely from the seed.
+func RandomFaultSchedule(k, n int, horizon Time, seed uint64) *FaultSchedule {
+	return fault.RandomSchedule(k, n, horizon, seed)
+}
+
+// SortProgram decomposes SORT-OTN over xs into a RecoveryProgram for
+// Supervise. The returned func reads the sorted output once the
+// program has completed.
+func SortProgram(m *Machine, xs []int64) (*RecoveryProgram, func() []int64, error) {
+	return resilience.SortProgram(m, xs)
+}
+
+// ComponentsProgram decomposes CONNECTED-COMPONENTS of g into a
+// RecoveryProgram for Supervise. The returned func reads the vertex
+// labels once the program has completed.
+func ComponentsProgram(m *Machine, g *Graph) (*RecoveryProgram, func() []int64, error) {
+	return resilience.ComponentsProgram(m, g)
+}
+
+// Supervise runs prog on m under the checkpoint/rollback recovery
+// supervisor: fault events from sched are merged into the live plan
+// as simulated time passes them, detected failures roll the machine
+// back to the last consistent checkpoint and replay on the degraded
+// network, and every recovery is itemized in m's Health ledger. It
+// returns the simulated completion time; the error is non-nil when
+// the retry budget was exhausted (the machine keeps its sticky error).
+func Supervise(m *Machine, sched *FaultSchedule, prog *RecoveryProgram, opt RecoveryOptions) (Time, error) {
+	return resilience.Run(m, sched, prog, 0, opt)
+}
+
+// SamePartition reports whether two component labelings induce the
+// same partition of the vertices (label values themselves may differ).
+func SamePartition(a, b []int64) bool { return graph.SamePartition(a, b) }
+
+// RecoverySweepStudy measures the dynamic-fault surcharge: supervised
+// SORT-OTN and CONNECTED-COMPONENTS on an (n×n)-OTN under
+// 0..maxEvents mid-run dead-edge arrivals, reporting correctness,
+// overhead and the itemized checkpoint/rollback costs. The zero-event
+// points are bit-identical to the healthy baselines.
+func RecoverySweepStudy(n, maxEvents int, seed uint64) (*RecoverySweep, error) {
+	return analysis.RecoverySweepStudy(n, maxEvents, seed)
 }
 
 // Sort runs procedure SORT-OTN (Section II-B): the K numbers xs enter
