@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes ci
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,14 @@ vet:
 # cross-validates, and — since the host-parallel core — the machine's
 # ParDo pool, the analysis sweep's concurrent cells (whose determinism
 # test doubles as the race proof), and the fault/recovery layer's
-# per-lane health ledgers and supervisor.
+# per-lane health ledgers and supervisor. The explicit Plan pass keeps
+# the compiled-routing replay paths (shared plan cache, differential
+# fuzz, stale-plan recovery) under the detector by name, so a test
+# rename can't silently drop them.
 race:
 	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/...
 	$(GO) test -race -run 'Deterministic|Parallel|Batch|Recovery' ./internal/analysis/... ./internal/algorithms/sorting/...
+	$(GO) test -race -run 'Plan|StalePlans' ./internal/tree/... ./internal/mcache/... ./internal/resilience/...
 
 # Short fuzz passes over the fault-layer determinism properties:
 # static plans, and fault-arrival schedules through the recovery
@@ -43,14 +47,23 @@ benchcmp:
 benchthroughput:
 	$(GO) run ./cmd/otbench -throughput
 
+# Route-bound benchmarks compiled vs interpreted: the
+# plan-once/replay-many speedup table, plus an exact equality check on
+# every simulated metric between the two modes.
+benchroutes:
+	$(GO) run ./cmd/otbench -routes
+
 # One-iteration pass over every benchmark: compile + run smoke, no
 # timing fidelity intended. The explicit SortBatch pass additionally
 # smokes the batched engine with more than one iteration so the
-# lane-reset path runs too, and one recovery-sweep point smokes the
+# lane-reset path runs too, the Table1SortOTN pass runs twice so the
+# second iteration exercises plan adoption and replay from the shared
+# route-plan cache, and one recovery-sweep point smokes the
 # checkpoint/rollback supervisor end to end through the CLI.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench 'SortBatch16' -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'Table1SortOTN' -benchtime 2x .
 	$(GO) run ./cmd/otsim -alg sort -n 16 -schedule 2 -json > /dev/null
 
 ci: build vet test race benchsmoke

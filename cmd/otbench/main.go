@@ -26,6 +26,8 @@
 //	otbench -compare BENCH.json          # re-run, diff against baseline
 //	otbench -json new.json -compare BENCH.json
 //	otbench -throughput       # batched benchmarks only: instances/sec table
+//	otbench -routes           # compiled vs interpreted routing table
+//	otbench -compare BENCH.json -hosttol 30   # also gate ns/op regressions >30%
 //	otbench -cpuprofile cpu.pprof -json /dev/null
 package main
 
@@ -59,9 +61,12 @@ func main() {
 	jsonOut := flag.String("json", "", "run the benchmark suite and write results to this file")
 	compare := flag.String("compare", "", "run the benchmark suite and diff against this baseline file")
 	throughput := flag.Bool("throughput", false, "run only the batched benchmarks and print an instances/sec table")
+	routes := flag.Bool("routes", false, "run the route-bound benchmarks compiled and interpreted and print the comparison table")
+	hosttol := flag.Float64("hosttol", 0, "percentage tolerance on ns/op regressions in -compare; 0 keeps host times info-only")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+	hostTolPct = *hosttol
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -75,7 +80,9 @@ func main() {
 	}
 
 	ok := true
-	if *throughput {
+	if *routes {
+		ok = routesMode()
+	} else if *throughput {
 		throughputMode()
 	} else if *jsonOut != "" || *compare != "" {
 		ok = benchMode(*jsonOut, *compare)
@@ -221,6 +228,17 @@ type BenchFile struct {
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
 
+// hostTolPct is the -hosttol value: when positive, a ns/op regression
+// beyond this percentage over the baseline fails -compare. At zero
+// (the default) host times stay informational, because they depend on
+// the machine running the comparison.
+var hostTolPct float64
+
+// compileRoutes is flipped by -routes to run the suite's
+// route-bound entries with compiled schedules disabled; every other
+// mode leaves it at the machines' default (enabled).
+var compileRoutes = true
+
 // simMap collects the simulated metrics a benchmark body produces.
 // Bodies overwrite the same keys every b.N loop, so the recorded
 // values are those of the final iteration — which determinism
@@ -267,6 +285,7 @@ var suite = []struct {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.SetRouteCompile(compileRoutes)
 		xs := orthotrees.NewRNG(11).Perm(64)
 		var done orthotrees.Time
 		for i := 0; i < b.N; i++ {
@@ -281,6 +300,7 @@ var suite = []struct {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.SetRouteCompile(compileRoutes)
 		r := m.Router(orthotrees.Vector{IsRow: true})
 		var done orthotrees.Time
 		b.ResetTimer()
@@ -295,6 +315,7 @@ var suite = []struct {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.SetRouteCompile(compileRoutes)
 		r := m.Router(orthotrees.Vector{IsRow: true})
 		var done orthotrees.Time
 		b.ResetTimer()
@@ -309,6 +330,7 @@ var suite = []struct {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.SetRouteCompile(compileRoutes)
 		r := m.Router(orthotrees.Vector{IsRow: true})
 		src, dst := r.Leaf(0), r.Leaf(63)
 		var done orthotrees.Time
@@ -324,6 +346,7 @@ var suite = []struct {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.SetRouteCompile(compileRoutes)
 		vec := orthotrees.Vector{IsRow: true}
 		m.Set("A", 0, 5, 42)
 		var done orthotrees.Time
@@ -339,6 +362,7 @@ var suite = []struct {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.SetRouteCompile(compileRoutes)
 		sel := core.One(5)
 		var done orthotrees.Time
 		b.ResetTimer()
@@ -404,6 +428,7 @@ func batchBroadcastBench(lanes int) func(b *testing.B, sim simMap) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		bb.SetRouteCompile(compileRoutes)
 		rels := make([]orthotrees.Time, lanes)
 		times := make([]orthotrees.Time, lanes)
 		b.ResetTimer()
@@ -430,6 +455,7 @@ func batchSortBench(lanes int) func(b *testing.B, sim simMap) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		bb.SetRouteCompile(compileRoutes)
 		problems := make([][]int64, lanes)
 		for p := range problems {
 			problems[p] = orthotrees.NewRNG(uint64(11 + p)).Perm(64)
@@ -523,6 +549,71 @@ func throughputMode() {
 	}
 }
 
+// routeSuiteNames selects the suite entries whose host cost is
+// dominated by tree routing — the ones the compiled-schedule layer
+// accelerates. Table sweeps are excluded: they rebuild machines per
+// size, mixing construction cost into the measurement.
+var routeSuiteNames = map[string]bool{
+	"SortOTN/n=64":      true,
+	"TreeBroadcast/K=64": true,
+	"TreeReduce/K=64":    true,
+	"TreeRoute/K=64":     true,
+	"LeafToLeaf/K=64":    true,
+	"ParDoSweep/K=64":    true,
+}
+
+// routesMode runs each route-bound benchmark twice — once with
+// compiled routing schedules disabled (pure interpretation) and once
+// with the default plan-once/replay-many path — and prints the
+// comparison. The simulated quantities of the two runs must agree
+// exactly; a mismatch is a correctness failure, not a perf delta.
+func routesMode() bool {
+	type entry struct {
+		name  string
+		lanes int
+		run   func(b *testing.B, sim simMap)
+	}
+	var entries []entry
+	for _, def := range suite {
+		if routeSuiteNames[def.name] {
+			entries = append(entries, entry{def.name, 0, def.run})
+		}
+	}
+	for _, def := range batchSuite {
+		if def.lanes == batchLanes[len(batchLanes)-1] {
+			entries = append(entries, entry{def.name, def.lanes, def.run})
+		}
+	}
+	ok := true
+	fmt.Printf("%-28s %14s %14s %9s %12s %12s\n",
+		"benchmark", "interp ns/op", "compiled ns/op", "speedup", "interp allocs", "comp allocs")
+	for _, e := range entries {
+		compileRoutes = false
+		interp := measure(e.name+"/interp", e.lanes, e.run)
+		compileRoutes = true
+		comp := measure(e.name+"/compiled", e.lanes, e.run)
+		for k, want := range interp.Simulated {
+			if got, has := comp.Simulated[k]; !has || got != want {
+				fmt.Fprintf(os.Stderr, "FAIL %s: compiled simulated %q = %v, interpreted %v\n",
+					e.name, k, comp.Simulated[k], want)
+				ok = false
+			}
+		}
+		speedup := math.NaN()
+		if comp.NsPerOp > 0 {
+			speedup = float64(interp.NsPerOp) / float64(comp.NsPerOp)
+		}
+		fmt.Printf("%-28s %14d %14d %8.2fx %12d %12d\n",
+			e.name, interp.NsPerOp, comp.NsPerOp, speedup, interp.AllocsPerOp, comp.AllocsPerOp)
+	}
+	if ok {
+		fmt.Println("routes: simulated metrics identical compiled vs interpreted")
+	} else {
+		fmt.Fprintln(os.Stderr, "routes: FAILED (compiled run diverged from interpretation)")
+	}
+	return ok
+}
+
 // allocSlack is the -compare tolerance on allocs/op: small counts
 // jitter with GC timing and testing.Benchmark's chosen b.N, so a
 // regression must clear both a relative and an absolute bar to fail
@@ -602,12 +693,23 @@ func diff(base, cur BenchFile) bool {
 				old.Name, now.AllocsPerOp, old.AllocsPerOp, limit)
 			ok = false
 		}
-		ratio := math.NaN()
-		if old.NsPerOp > 0 {
-			ratio = float64(now.NsPerOp) / float64(old.NsPerOp)
+		// Host metrics, reported as relative deltas per metric. ns/op
+		// gates only when -hosttol sets a tolerance; allocs and bytes
+		// always print so a drift is visible before it trips the slack.
+		dns := relDelta(now.NsPerOp, old.NsPerOp)
+		dal := relDelta(now.AllocsPerOp, old.AllocsPerOp)
+		dby := relDelta(now.BytesPerOp, old.BytesPerOp)
+		gate := "info only"
+		if hostTolPct > 0 {
+			gate = fmt.Sprintf("tol %+.1f%%", hostTolPct)
+			if !math.IsNaN(dns) && dns > hostTolPct {
+				fmt.Fprintf(os.Stderr, "FAIL %s: ns/op %d is %+.1f%% vs baseline %d, over -hosttol %.1f%%\n",
+					old.Name, now.NsPerOp, dns, old.NsPerOp, hostTolPct)
+				ok = false
+			}
 		}
-		fmt.Fprintf(os.Stderr, "ok   %-24s ns/op %.2fx of baseline (info only), allocs/op %d vs %d\n",
-			old.Name, ratio, now.AllocsPerOp, old.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "ok   %-24s ns/op %s (%s)  allocs/op %s (%d vs %d)  B/op %s\n",
+			old.Name, fmtDelta(dns), gate, fmtDelta(dal), now.AllocsPerOp, old.AllocsPerOp, fmtDelta(dby))
 	}
 	// A benchmark the baseline has never seen is as much a gap in the
 	// regression gate as a vanished one: its simulated quantities are
@@ -627,4 +729,22 @@ func diff(base, cur BenchFile) bool {
 		fmt.Fprintln(os.Stderr, "otbench: comparison FAILED")
 	}
 	return ok
+}
+
+// relDelta is the signed percentage change of now over base, NaN when
+// the baseline is zero.
+func relDelta(now, base int64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return 100 * float64(now-base) / float64(base)
+}
+
+// fmtDelta renders a relDelta for the report, with zero-baseline
+// metrics shown as n/a rather than NaN.
+func fmtDelta(d float64) string {
+	if math.IsNaN(d) {
+		return "    n/a "
+	}
+	return fmt.Sprintf("%+7.1f%%", d)
 }

@@ -161,6 +161,16 @@ func (bb *Batch) Reset() {
 	}
 }
 
+// SetRouteCompile enables or disables compiled routing schedules on
+// every lane router (see Machine.SetRouteCompile); simulated times
+// are identical either way.
+func (bb *Batch) SetRouteCompile(on bool) {
+	for i := range bb.rows {
+		bb.rows[i].SetCompile(on)
+		bb.cols[i].SetCompile(on)
+	}
+}
+
 // fail records the batch's sticky error, first error wins (mirrors
 // Machine.fail; parallel ParDo bodies may fail concurrently).
 func (bb *Batch) fail(err error) {

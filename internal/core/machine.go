@@ -181,13 +181,19 @@ type Machine struct {
 	rows, cols []Router
 	area       vlsi.Area
 
-	// regs holds the register banks behind an atomic copy-on-write
-	// map[Reg][]int64: each bank is one contiguous row-major K×K
-	// slice (BP(i,j) at index i*K+j), so a row sweep is unit-stride
-	// and a column sweep a single constant stride — and the read path
-	// (bank) is a lock-free atomic load, safe under ParDo's worker
-	// pool. regMu serializes the rare grow path that installs a new
-	// bank.
+	// named holds the banks of the six paper registers (A, B, C, D,
+	// R, flag), pre-allocated at construction and indexed by
+	// regIndex: the hot read path is one switch on a one-byte string
+	// plus an array load — no map hash, no atomic. Each bank is one
+	// contiguous row-major K×K slice (BP(i,j) at index i*K+j), so a
+	// row sweep is unit-stride and a column sweep a single constant
+	// stride. The slots are immutable after init, so ParDo workers
+	// read them without synchronization.
+	named [len(namedRegs)][]int64
+
+	// regs holds banks of any *other* register names behind an atomic
+	// copy-on-write map — the slow path for exotic callers. regMu
+	// serializes the rare grow path that installs a new bank.
 	regs  atomic.Pointer[map[Reg][]int64]
 	regMu sync.Mutex
 
@@ -255,9 +261,38 @@ func NewWithRouters(k int, cfg vlsi.Config, area vlsi.Area, rows, cols []Router)
 	return m, nil
 }
 
-// init finishes construction: empty COW register map and the
-// PermuteVector scratch pool.
+// namedRegs lists the six paper registers in regIndex order.
+var namedRegs = [...]Reg{RegA, RegB, RegC, RegD, RegR, RegFlag}
+
+// regIndex maps a paper register to its named-bank slot, -1 for any
+// other name.
+func regIndex(r Reg) int {
+	switch r {
+	case RegA:
+		return 0
+	case RegB:
+		return 1
+	case RegC:
+		return 2
+	case RegD:
+		return 3
+	case RegR:
+		return 4
+	case RegFlag:
+		return 5
+	}
+	return -1
+}
+
+// init finishes construction: the six named banks as one contiguous
+// arena (a single allocation, and neighbouring banks stay cache-warm
+// across a program's register mix), the empty COW map for exotic
+// register names, and the PermuteVector scratch pool.
 func (m *Machine) init() {
+	arena := make([]int64, len(namedRegs)*m.K*m.K)
+	for i := range m.named {
+		m.named[i], arena = arena[:m.K*m.K:m.K*m.K], arena[m.K*m.K:]
+	}
 	empty := make(map[Reg][]int64)
 	m.regs.Store(&empty)
 	k := m.K
@@ -376,10 +411,15 @@ func (m *Machine) hostWorkers() int {
 }
 
 // bank returns (allocating if needed) the storage for a register: one
-// contiguous row-major K×K slice, BP(i,j) at index i*K+j. The fast
-// path is a single atomic load of the COW map — lock-free, so ParDo
-// bodies on concurrent host workers read banks without contention.
+// contiguous row-major K×K slice, BP(i,j) at index i*K+j. The six
+// paper registers resolve through the pre-allocated named slots; any
+// other name falls back to a lock-free atomic load of the COW map —
+// either way ParDo bodies on concurrent host workers read banks
+// without contention.
 func (m *Machine) bank(r Reg) []int64 {
+	if idx := regIndex(r); idx >= 0 {
+		return m.named[idx]
+	}
 	if b, ok := (*m.regs.Load())[r]; ok {
 		return b
 	}
@@ -407,6 +447,18 @@ func (m *Machine) growBank(r Reg) []int64 {
 	return b
 }
 
+// eachBank visits every live register bank — the six pre-allocated
+// named slots plus any exotic banks in the COW map. Snapshot, Restore
+// and Recycle go through this so the named arena is never skipped.
+func (m *Machine) eachBank(f func(r Reg, bank []int64)) {
+	for i, r := range namedRegs {
+		f(r, m.named[i])
+	}
+	for r, bank := range *m.regs.Load() {
+		f(r, bank)
+	}
+}
+
 // Get reads register r of BP(i, j).
 func (m *Machine) Get(r Reg, i, j int) int64 { return m.bank(r)[i*m.K+j] }
 
@@ -426,6 +478,17 @@ func (m *Machine) at(r Reg, vec Vector, k int) int64 {
 		return m.bank(r)[vec.Index*m.K+k]
 	}
 	return m.bank(r)[k*m.K+vec.Index]
+}
+
+// vecSpan returns the flat-bank base index and element stride of a
+// vector: position k of the vector lives at bank[base+k*step]. The
+// primitives hoist (bank, base, step) out of their K-length loops so
+// the sweeps run as plain strided array walks.
+func (m *Machine) vecSpan(vec Vector) (base, step int) {
+	if vec.IsRow {
+		return vec.Index * m.K, 1
+	}
+	return vec.Index, m.K
 }
 
 // setAt writes register r at position k of a vector, dropping writes
@@ -488,6 +551,47 @@ func (m *Machine) Reset() {
 		m.rows[i].Reset()
 		m.cols[i].Reset()
 	}
+}
+
+// routeCompiler is implemented by routers that support compiled
+// routing schedules (internal/tree's Tree; the OTC's cycle-backed
+// routers interpret always and simply don't implement it).
+type routeCompiler interface{ SetCompile(on bool) }
+
+// SetRouteCompile enables or disables route compilation (plan-once /
+// replay-many traversal, see internal/tree/plan.go) on every router
+// that supports it. Compilation is on by default; disabling pins the
+// machine to pure interpretation — the reference side of the
+// differential tests and of otbench -routes. Simulated bit-times are
+// identical either way.
+func (m *Machine) SetRouteCompile(on bool) {
+	for i := 0; i < m.K; i++ {
+		if c, ok := m.rows[i].(routeCompiler); ok {
+			c.SetCompile(on)
+		}
+		if c, ok := m.cols[i].(routeCompiler); ok {
+			c.SetCompile(on)
+		}
+	}
+}
+
+// RoutePlansCompiled counts the machine's routers that currently hold
+// a compiled routing schedule. It is zero on a fresh, recycled or
+// route-compile-disabled machine; the mcache invalidation tests use it
+// to pin that Recycle/ClearFaults really drop every plan rather than
+// leaving a schedule recorded under the old fault view.
+func (m *Machine) RoutePlansCompiled() int {
+	type hasPlan interface{ HasRoutePlan() bool }
+	n := 0
+	for i := 0; i < m.K; i++ {
+		if r, ok := m.rows[i].(hasPlan); ok && r.HasRoutePlan() {
+			n++
+		}
+		if r, ok := m.cols[i].(hasPlan); ok && r.HasRoutePlan() {
+			n++
+		}
+	}
+	return n
 }
 
 // trace emits an event if a tracer is attached and returns end, so

@@ -37,9 +37,25 @@ func (m *Machine) RootToLeaf(vec Vector, sel Sel, dst Reg, rel vlsi.Time) vlsi.T
 		return rel
 	}
 	val := *m.root(vec)
-	for k := 0; k < m.K; k++ {
-		if sel == nil || sel(k) {
-			m.setAt(dst, vec, k, val)
+	if m.stuck == nil {
+		b := m.bank(dst)
+		base, step := m.vecSpan(vec)
+		if sel == nil {
+			for k := 0; k < m.K; k++ {
+				b[base+k*step] = val
+			}
+		} else {
+			for k := 0; k < m.K; k++ {
+				if sel(k) {
+					b[base+k*step] = val
+				}
+			}
+		}
+	} else {
+		for k := 0; k < m.K; k++ {
+			if sel == nil || sel(k) {
+				m.setAt(dst, vec, k, val)
+			}
 		}
 	}
 	per, done := m.Router(vec).Broadcast(rel)
@@ -97,8 +113,10 @@ func (m *Machine) CountLeafToRoot(vec Vector, flag Reg, rel vlsi.Time) vlsi.Time
 		return rel
 	}
 	var n int64
+	b := m.bank(flag)
+	base, step := m.vecSpan(vec)
 	for k := 0; k < m.K; k++ {
-		if m.at(flag, vec, k) == 1 {
+		if b[base+k*step] == 1 {
 			n++
 		}
 	}
@@ -123,9 +141,17 @@ func (m *Machine) SumLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vls
 		return rel
 	}
 	var s int64
-	for k := 0; k < m.K; k++ {
-		if sel == nil || sel(k) {
-			s += m.at(src, vec, k)
+	b := m.bank(src)
+	base, step := m.vecSpan(vec)
+	if sel == nil {
+		for k := 0; k < m.K; k++ {
+			s += b[base+k*step]
+		}
+	} else {
+		for k := 0; k < m.K; k++ {
+			if sel(k) {
+				s += b[base+k*step]
+			}
 		}
 	}
 	*m.root(vec) = s
@@ -144,9 +170,11 @@ func (m *Machine) MinLeafToRoot(vec Vector, sel Sel, src Reg, rel vlsi.Time) vls
 		return rel
 	}
 	min := Null
+	b := m.bank(src)
+	base, step := m.vecSpan(vec)
 	for k := 0; k < m.K; k++ {
 		if sel == nil || sel(k) {
-			v := m.at(src, vec, k)
+			v := b[base+k*step]
 			if v == Null {
 				continue
 			}
@@ -212,15 +240,22 @@ func (m *Machine) CompareExchange(vec Vector, stride int, reg Reg, asc func(k in
 		m.fail(&MisuseError{Op: "COMPEX", Reason: fmt.Sprintf("stride %d invalid for K=%d", stride, m.K)})
 		return rel
 	}
+	rb := m.bank(reg)
+	base, step := m.vecSpan(vec)
 	for k := 0; k < m.K; k++ {
 		if k&stride != 0 {
 			continue
 		}
-		a, b := m.at(reg, vec, k), m.at(reg, vec, k+stride)
+		a, b := rb[base+k*step], rb[base+(k+stride)*step]
 		up := asc == nil || asc(k)
 		if (up && a > b) || (!up && a < b) {
-			m.setAt(reg, vec, k, b)
-			m.setAt(reg, vec, k+stride, a)
+			if m.stuck == nil {
+				rb[base+k*step] = b
+				rb[base+(k+stride)*step] = a
+			} else {
+				m.setAt(reg, vec, k, b)
+				m.setAt(reg, vec, k+stride, a)
+			}
 		}
 	}
 	r := m.Router(vec)
@@ -280,11 +315,20 @@ func (m *Machine) PermuteVector(vec Vector, perm []int, src, dst Reg, rel vlsi.T
 	// Functional move (read all, then write all — the words are in
 	// flight simultaneously).
 	vals := ps.vals
+	sb := m.bank(src)
+	base, step := m.vecSpan(vec)
 	for k := 0; k < m.K; k++ {
-		vals[k] = m.at(src, vec, k)
+		vals[k] = sb[base+k*step]
 	}
-	for k := 0; k < m.K; k++ {
-		m.setAt(dst, vec, perm[k], vals[k])
+	if m.stuck == nil {
+		db := m.bank(dst)
+		for k := 0; k < m.K; k++ {
+			db[base+perm[k]*step] = vals[k]
+		}
+	} else {
+		for k := 0; k < m.K; k++ {
+			m.setAt(dst, vec, perm[k], vals[k])
+		}
 	}
 	router := m.Router(vec)
 	degraded := m.faulty && router.CutLeaves() != nil

@@ -45,11 +45,11 @@ func (m *Machine) ClearFaults() {
 func (m *Machine) Recycle() {
 	m.ClearFaults()
 	m.Reset()
-	for _, bank := range *m.regs.Load() {
+	m.eachBank(func(_ Reg, bank []int64) {
 		for i := range bank {
 			bank[i] = 0
 		}
-	}
+	})
 	for i := range m.rowRoot {
 		m.rowRoot[i] = 0
 		m.colRoot[i] = 0

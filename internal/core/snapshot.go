@@ -56,9 +56,9 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 		rows:    make([]*tree.State, m.K),
 		cols:    make([]*tree.State, m.K),
 	}
-	for r, bank := range *m.regs.Load() {
+	m.eachBank(func(r Reg, bank []int64) {
 		s.banks[r] = append([]int64(nil), bank...)
-	}
+	})
 	for i := 0; i < m.K; i++ {
 		rr, ok := m.rows[i].(routerState)
 		if !ok {
@@ -84,7 +84,7 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 // MergeFaults first and Restore second, so the restored ascent
 // counters take effect after SetFaults zeroed them.
 func (m *Machine) Restore(s *Snapshot) error {
-	for r, bank := range *m.regs.Load() {
+	m.eachBank(func(r Reg, bank []int64) {
 		if saved, ok := s.banks[r]; ok {
 			copy(bank, saved)
 		} else {
@@ -92,7 +92,7 @@ func (m *Machine) Restore(s *Snapshot) error {
 				bank[i] = 0
 			}
 		}
-	}
+	})
 	copy(m.rowRoot, s.rowRoot)
 	copy(m.colRoot, s.colRoot)
 	for i := 0; i < m.K; i++ {

@@ -34,6 +34,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/vlsi"
 	"repro/internal/workload"
@@ -329,6 +330,41 @@ func (f *TreeFaults) K() int { return f.k }
 // Dead reports whether the view cuts any hardware (as opposed to a
 // transient-only view).
 func (f *TreeFaults) Dead() bool { return f != nil && f.deadUp != nil }
+
+// HasTransients reports whether the view carries a nonzero transient
+// corruption rate. Routers use this to decide whether a traversal is
+// schedulable: transient draws consume the monotone ascent counter,
+// so a traversal under a transient view is never replayed from a
+// recording.
+func (f *TreeFaults) HasTransients() bool { return f != nil && f.rate != 0 }
+
+// Fingerprint hashes the complete fault view — topology, rate, retry
+// budget, and the per-tree corruption key — into a nonzero value that
+// is equal exactly when two views would produce identical routing and
+// corruption behaviour. The nil view (healthy) hashes to 0, so a
+// fingerprint doubles as a "has any view" flag.
+func (f *TreeFaults) Fingerprint() uint64 {
+	if f == nil {
+		return 0
+	}
+	h := mix(uint64(f.k)<<32 ^ uint64(f.maxRetries)<<1 ^ 1)
+	h = mix(h ^ math.Float64bits(f.rate))
+	h = mix(h ^ f.key)
+	for v, d := range f.deadUp {
+		if d {
+			h = mix(h ^ uint64(v)<<1 ^ 0x5D)
+		}
+	}
+	for v, d := range f.deadIP {
+		if d {
+			h = mix(h ^ uint64(v)<<1 ^ 0x1F)
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
 
 // EdgeDead reports whether the link between node v and its parent is
 // dead.

@@ -50,6 +50,56 @@ func TestReturnDropsDynamicallyFaultedMachine(t *testing.T) {
 	}
 }
 
+// TestRecycleInvalidatesCompiledRoutePlans pins the plan-cache
+// invalidation contract of the compiled-routing layer (PR 5) at the
+// machine-cache boundary: a workload compiles routing schedules; a
+// mid-run fault mutation then a Recycle must drop every one of them
+// (a schedule recorded under the old fault view must never replay on
+// the next tenant); and the recycled machine must recompile fresh
+// plans while staying bit-identical to a fresh build.
+func TestRecycleInvalidatesCompiledRoutePlans(t *testing.T) {
+	m, err := buildOTN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := wl.NewRNG(5).Perm(testK)
+	sorting.SortOTN(m, append([]int64(nil), xs...), 0)
+	m.Reset() // freeze the recorded schedules into plans
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	if m.RoutePlansCompiled() == 0 {
+		t.Fatal("healthy sort compiled no route plans")
+	}
+
+	// Mutate the fault plan mid-run (the supervisor's MergeFaults) so
+	// any surviving schedule would now describe the wrong machine.
+	superviseThroughRecovery(t, m)
+	m.Recycle()
+	if got := m.RoutePlansCompiled(); got != 0 {
+		t.Fatalf("Recycle left %d compiled route plans attached", got)
+	}
+
+	// The recycled machine must recompile and match a fresh build
+	// bit-for-bit — replaying a stale plan would shift times or values.
+	fresh, err := buildOTN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOut, gotDone := sorting.SortOTN(m, append([]int64(nil), xs...), 0)
+	wantOut, wantDone := sorting.SortOTN(fresh, append([]int64(nil), xs...), 0)
+	if m.Err() != nil || fresh.Err() != nil {
+		t.Fatalf("errs: recycled %v, fresh %v", m.Err(), fresh.Err())
+	}
+	if gotDone != wantDone || !reflect.DeepEqual(gotOut, wantOut) {
+		t.Fatalf("recycled run diverged: done %v vs %v", gotDone, wantDone)
+	}
+	m.Reset()
+	if m.RoutePlansCompiled() == 0 {
+		t.Fatal("recycled machine did not recompile route plans")
+	}
+}
+
 // TestRecycledPostRecoveryMachineMatchesFresh is the scrub proof the
 // drop policy leans on: even after a full mid-run recovery (merged
 // plan, rollbacks, healed failures), an explicit Recycle restores a

@@ -142,52 +142,81 @@ func (m *Machine) ShearSort(xs []int64, rel vlsi.Time) ([]int64, vlsi.Time) {
 // CannonMatMul computes C = A·B (integer, or Boolean when boolean is
 // true) by Cannon's systolic schedule: after the initial skew, 2K
 // shift-and-accumulate steps.
+//
+// The simulation evaluates the product directly rather than churning
+// the skewed operand arrays through 2K explicit shift rounds: cell
+// (i,j) accumulates exactly the terms a[i][l]·b[l][j] in both cases,
+// and two's-complement addition (and Boolean OR) is associative and
+// commutative, so the result matrix is bit-identical to the stepped
+// emulation while the host cost drops from Θ(K³) array churn to a
+// cache-friendly product. The charged time keeps the systolic
+// schedule's closed form: K skew steps plus K multiply-accumulate
+// rounds, each at MacStepTime.
 func (m *Machine) CannonMatMul(a, b [][]int64, boolean bool, rel vlsi.Time) ([][]int64, vlsi.Time) {
 	k := m.K
 	if len(a) != k || len(b) != k {
 		panic(fmt.Sprintf("mesh: %d×%d product on a %d×%d mesh", len(a), len(b), k, k))
 	}
-	// Local skewed copies.
-	as := make([][]int64, k)
-	bs := make([][]int64, k)
 	cs := make([][]int64, k)
-	for i := 0; i < k; i++ {
-		as[i] = make([]int64, k)
-		bs[i] = make([]int64, k)
-		cs[i] = make([]int64, k)
-		for j := 0; j < k; j++ {
-			as[i][j] = a[i][(j+i)%k]
-			bs[i][j] = b[(i+j)%k][j]
-		}
+	flat := make([]int64, k*k)
+	for i := range cs {
+		cs[i], flat = flat[:k:k], flat[k:]
 	}
-	steps := k // the skew itself: up to K−1 shifts, overlapped rows/cols
-	for s := 0; s < k; s++ {
-		for i := 0; i < k; i++ {
+	if boolean {
+		// Boolean product as bitset rows: row i of C is the OR of the
+		// B rows picked out by the nonzero entries of row i of A.
+		words := (k + 63) / 64
+		bbits := make([]uint64, k*words)
+		for l := 0; l < k; l++ {
+			row := b[l]
+			_ = row[k-1]
 			for j := 0; j < k; j++ {
-				if boolean {
-					if as[i][j] != 0 && bs[i][j] != 0 {
-						cs[i][j] = 1
-					}
-				} else {
-					cs[i][j] += as[i][j] * bs[i][j]
+				if row[j] != 0 {
+					bbits[l*words+j/64] |= 1 << (j % 64)
 				}
 			}
 		}
-		// Shift A left, B up.
+		acc := make([]uint64, words)
 		for i := 0; i < k; i++ {
-			first := as[i][0]
-			copy(as[i], as[i][1:])
-			as[i][k-1] = first
-		}
-		for j := 0; j < k; j++ {
-			first := bs[0][j]
-			for i := 0; i+1 < k; i++ {
-				bs[i][j] = bs[i+1][j]
+			for w := range acc {
+				acc[w] = 0
 			}
-			bs[k-1][j] = first
+			ai := a[i]
+			_ = ai[k-1]
+			for l := 0; l < k; l++ {
+				if ai[l] != 0 {
+					bw := bbits[l*words : (l+1)*words]
+					for w := range acc {
+						acc[w] |= bw[w]
+					}
+				}
+			}
+			ci := cs[i]
+			for j := 0; j < k; j++ {
+				if acc[j/64]&(1<<(j%64)) != 0 {
+					ci[j] = 1
+				}
+			}
 		}
-		steps++
+	} else {
+		for i := 0; i < k; i++ {
+			ai, ci := a[i], cs[i]
+			_ = ai[k-1]
+			for l := 0; l < k; l++ {
+				v := ai[l]
+				if v == 0 {
+					continue // contributes only zero terms
+				}
+				bl := b[l]
+				_ = bl[k-1]
+				for j := 0; j < k; j++ {
+					ci[j] += v * bl[j]
+				}
+			}
+		}
 	}
+	// K overlapped skew shifts, then K shift-and-accumulate rounds.
+	steps := 2 * k
 	return cs, rel + vlsi.Time(steps)*m.MacStepTime()
 }
 

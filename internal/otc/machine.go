@@ -42,10 +42,36 @@ type Machine struct {
 	// longest cycle wire.
 	shift vlsi.Time
 
-	regs map[core.Reg][][][]int64 // [i][j][q]
+	// named caches the banks of the six paper registers in array
+	// slots, filled lazily (the Machine is single-threaded, so the
+	// fill needs no synchronization): the hot Get/Set path is one
+	// switch on a one-byte string plus an array load instead of a map
+	// hash. Exotic register names fall back to the regs map.
+	named [6][][][]int64
+	regs  map[core.Reg][][][]int64 // [i][j][q]
 	// rootQ holds the word stream at each tree root: the OTC's ports
 	// carry log N words per operation, Θ(log N) apart (Section V-B).
 	rowRootQ, colRootQ [][]int64
+}
+
+// regIndex maps a paper register to its named-bank slot, -1 for any
+// other name (mirrors core's named-bank scheme).
+func regIndex(r core.Reg) int {
+	switch r {
+	case core.RegA:
+		return 0
+	case core.RegB:
+		return 1
+	case core.RegC:
+		return 2
+	case core.RegD:
+		return 3
+	case core.RegR:
+		return 4
+	case core.RegFlag:
+		return 5
+	}
+	return -1
 }
 
 // New builds a (K×K)-OTC with cycles of length l. K must be a power
@@ -101,16 +127,33 @@ func (m *Machine) ShiftTime() vlsi.Time { return m.shift }
 
 // bank returns (allocating if needed) a register over all BPs.
 func (m *Machine) bank(r core.Reg) [][][]int64 {
+	if idx := regIndex(r); idx >= 0 {
+		if b := m.named[idx]; b != nil {
+			return b
+		}
+		b := m.makeBank()
+		m.named[idx] = b
+		return b
+	}
 	b, ok := m.regs[r]
 	if !ok {
-		b = make([][][]int64, m.K)
-		for i := range b {
-			b[i] = make([][]int64, m.K)
-			for j := range b[i] {
-				b[i][j] = make([]int64, m.L)
-			}
-		}
+		b = m.makeBank()
 		m.regs[r] = b
+	}
+	return b
+}
+
+// makeBank allocates one register over all BPs: the K×K×L words as a
+// single arena sliced into cycles.
+func (m *Machine) makeBank() [][][]int64 {
+	arena := make([]int64, m.K*m.K*m.L)
+	b := make([][][]int64, m.K)
+	rows := make([][]int64, m.K*m.K)
+	for i := range b {
+		b[i] = rows[i*m.K : (i+1)*m.K]
+		for j := range b[i] {
+			b[i][j], arena = arena[:m.L:m.L], arena[m.L:]
+		}
 	}
 	return b
 }
@@ -349,5 +392,15 @@ func (m *Machine) Reset() {
 	for i := 0; i < m.K; i++ {
 		m.rows[i].Reset()
 		m.cols[i].Reset()
+	}
+}
+
+// SetRouteCompile enables or disables compiled routing schedules on
+// every row and column tree (see core.Machine.SetRouteCompile);
+// simulated times are identical either way.
+func (m *Machine) SetRouteCompile(on bool) {
+	for i := 0; i < m.K; i++ {
+		m.rows[i].SetCompile(on)
+		m.cols[i].SetCompile(on)
 	}
 }

@@ -115,12 +115,21 @@ type sortTrace struct {
 // runSupervisedSort executes one full supervised SORT-OTN and
 // returns everything observable about the run.
 func runSupervisedSort(t *testing.T, k, events int, seed uint64) sortTrace {
+	return runSupervisedSortPrep(t, k, events, seed, nil)
+}
+
+// runSupervisedSortPrep is runSupervisedSort with a hook that mutates
+// the machine before the supervised run (plan warming, compile mode).
+func runSupervisedSortPrep(t *testing.T, k, events int, seed uint64, prep func(*core.Machine)) sortTrace {
 	t.Helper()
 	ref := newMachine(t, k)
 	xs := workload.NewRNG(seed | 1).Perm(k)
 	_, horizon := sorting.SortOTN(ref, append([]int64(nil), xs...), 0)
 
 	m := newMachine(t, k)
+	if prep != nil {
+		prep(m)
+	}
 	prog, out, err := resilience.SortProgram(m, xs)
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +192,44 @@ func TestMidRunSortDeterministic(t *testing.T) {
 		b := runSupervisedSort(t, 8, events, 42)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("events=%d: traces differ:\n%+v\n%+v", events, a, b)
+		}
+	}
+}
+
+// TestRecoveryNeverReplaysStalePlans pins the compiled-routing layer
+// against the supervisor's worst case: a machine whose routers hold
+// warm compiled schedules (recorded under the healthy fault view, and
+// replaying when the fault arrives) must produce a recovery trace —
+// output, finish time, every ledger counter — bit-identical to a cold
+// machine's and to a compile-disabled machine's. A stale schedule
+// surviving MergeFaults, or a checkpoint Restore resuming a replay
+// cursor into a dropped plan, would shift the trace.
+func TestRecoveryNeverReplaysStalePlans(t *testing.T) {
+	k := 8
+	for _, events := range []int{1, 3} {
+		for _, seed := range []uint64{42, 1983} {
+			cold := runSupervisedSortPrep(t, k, events, seed, nil)
+			warm := runSupervisedSortPrep(t, k, events, seed, func(m *core.Machine) {
+				// Record schedules for the exact op stream the
+				// supervised run opens with, then freeze them.
+				xs := workload.NewRNG(seed | 1).Perm(k)
+				sorting.SortOTN(m, append([]int64(nil), xs...), 0)
+				m.Reset()
+				if m.RoutePlansCompiled() == 0 {
+					t.Fatal("warming run compiled no route plans")
+				}
+			})
+			interp := runSupervisedSortPrep(t, k, events, seed, func(m *core.Machine) {
+				m.SetRouteCompile(false)
+			})
+			if !reflect.DeepEqual(warm, cold) {
+				t.Fatalf("events=%d seed=%d: plan-warm trace differs from cold:\n%+v\n%+v",
+					events, seed, warm, cold)
+			}
+			if !reflect.DeepEqual(warm, interp) {
+				t.Fatalf("events=%d seed=%d: plan-warm trace differs from interpreted:\n%+v\n%+v",
+					events, seed, warm, interp)
+			}
 		}
 	}
 }

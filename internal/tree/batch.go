@@ -43,6 +43,16 @@ type Batch struct {
 	// lane-major per node: the slot of node v, lane p is v*b+p.
 	upFree, downFree []vlsi.Time
 
+	// Route-compilation state for the uniform fast path (plan.go):
+	// lane 0's claim arithmetic is a dedicated tree's, so uniform
+	// operations record and replay exactly like Tree operations.
+	compileOff   bool
+	plan         *RoutePlan
+	pos, applied int
+	occDirty     bool
+	rec          *planRecorder
+	adopt        bool
+
 	// Reusable per-operation buffers, sized once here so steady-state
 	// batched routing allocates nothing (same discipline as
 	// Tree.scratch).
@@ -76,6 +86,7 @@ func (t *Tree) NewBatch(b int) (*Batch, error) {
 	bb.scratch.readyU = make([]vlsi.Time, n)
 	bb.scratch.head = make([]vlsi.Time, n*b)
 	bb.scratch.ready = make([]vlsi.Time, n*b)
+	bb.adopt = true
 	return bb, nil
 }
 
@@ -88,14 +99,27 @@ func (bb *Batch) K() int { return bb.t.geom.K }
 // Leaf returns the node index of leaf j.
 func (bb *Batch) Leaf(j int) int { return bb.t.Leaf(j) }
 
-// Reset clears every lane's occupancy, as between independent
-// batches, and re-enters the uniform fast path.
+// Reset clears the batch's occupancy, as between independent batches,
+// and re-enters the uniform fast path. Only lane 0's slots are
+// zeroed: uniform mode touches lane 0 exclusively, and materialize
+// overwrites every other lane from lane 0 before per-lane mode can
+// read it — so Reset is O(K) instead of O(K·B), and O(1) when a
+// compiled plan is armed (the zeroing is deferred to the first
+// divergence, which may never come).
 func (bb *Batch) Reset() {
-	for i := range bb.upFree {
-		bb.upFree[i] = 0
-		bb.downFree[i] = 0
+	if bb.rec != nil {
+		bb.freezeU()
 	}
+	bb.pos, bb.applied = 0, 0
 	bb.uniform = true
+	if bb.plan != nil {
+		bb.occDirty = true
+		bb.adopt = false
+		return
+	}
+	bb.zeroOccU()
+	bb.occDirty = false
+	bb.adopt = !bb.compileOff
 }
 
 // allEqual reports whether every lane shares one release time.
@@ -126,6 +150,19 @@ func (bb *Batch) materialize() {
 	if !bb.uniform {
 		return
 	}
+	// Plan boundary: lane 0's occupancy must be materialized at the
+	// replay cursor before it is fanned out, and an in-flight
+	// recording freezes here — the uniform prefix is this stream's
+	// compiled schedule; the plan is retained for the next Reset. A
+	// first operation that is already non-uniform has nothing to
+	// adopt against.
+	if bb.plan != nil || bb.occDirty {
+		bb.syncU()
+	}
+	if bb.rec != nil {
+		bb.freezeU()
+	}
+	bb.adopt = false
 	bb.uniform = false
 	b := bb.b
 	// Node 0 is unused and the root (1) has no parent edge; claims
@@ -169,22 +206,18 @@ func (bb *Batch) Broadcast(rels, dones []vlsi.Time) {
 	k := bb.t.geom.K
 	w := vlsi.Time(bb.t.cfg.WordBits - 1)
 	if bb.uniform && allEqual(rels) {
-		head := bb.scratch.headU
-		head[Root] = rels[0]
-		for v := 1; v < k; v++ {
-			for _, c := range [2]int{2 * v, 2*v + 1} {
-				h := head[v]
-				if v != Root {
-					h += bb.t.nodeLatency
+		var done vlsi.Time
+		if bb.planActiveU() {
+			if st := bb.planStepU(opBroadcast, 0, 0, rels[0]); st != nil {
+				for p := range dones {
+					dones[p] = st.done
 				}
-				head[c] = bb.claim(c, 0, false, h)
+				return
 			}
 		}
-		var done vlsi.Time
-		for j := 0; j < k; j++ {
-			if t := head[k+j] + w; t > done {
-				done = t
-			}
+		done = bb.broadcastU(rels[0])
+		if bb.rec != nil {
+			bb.recordU(planStep{op: opBroadcast, rel: rels[0], done: done})
 		}
 		for p := range dones {
 			dones[p] = done
@@ -219,6 +252,46 @@ func (bb *Batch) Broadcast(rels, dones []vlsi.Time) {
 	}
 }
 
+// broadcastU floods lane 0 (the uniform interpreter).
+func (bb *Batch) broadcastU(rel vlsi.Time) vlsi.Time {
+	k := bb.t.geom.K
+	w := vlsi.Time(bb.t.cfg.WordBits - 1)
+	head := bb.scratch.headU
+	head[Root] = rel
+	for v := 1; v < k; v++ {
+		for _, c := range [2]int{2 * v, 2*v + 1} {
+			h := head[v]
+			if v != Root {
+				h += bb.t.nodeLatency
+			}
+			head[c] = bb.claim(c, 0, false, h)
+		}
+	}
+	var done vlsi.Time
+	for j := 0; j < k; j++ {
+		if t := head[k+j] + w; t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// reduceUniformU is the uniform-ascent interpreter on lane 0.
+func (bb *Batch) reduceUniformU(rel vlsi.Time) vlsi.Time {
+	k := bb.t.geom.K
+	w := vlsi.Time(bb.t.cfg.WordBits - 1)
+	ready := bb.scratch.readyU
+	for j := 0; j < k; j++ {
+		ready[k+j] = rel
+	}
+	for v := k - 1; v >= 1; v-- {
+		a := bb.claim(2*v, 0, true, ready[2*v])
+		c := bb.claim(2*v+1, 0, true, ready[2*v+1])
+		ready[v] = vlsi.MaxTime(a, c) + bb.t.nodeLatency
+	}
+	return ready[Root] + w
+}
+
 // ReduceUniform performs one combining ascent per lane with all of a
 // lane's leaves releasing at rels[p]; dones[p] receives the time the
 // combined word's last bit reaches the root. rels and dones may
@@ -228,16 +301,18 @@ func (bb *Batch) ReduceUniform(rels, dones []vlsi.Time) {
 	k := bb.t.geom.K
 	w := vlsi.Time(bb.t.cfg.WordBits - 1)
 	if bb.uniform && allEqual(rels) {
-		ready := bb.scratch.readyU
-		for j := 0; j < k; j++ {
-			ready[k+j] = rels[0]
+		if bb.planActiveU() {
+			if st := bb.planStepU(opReduceU, 0, 0, rels[0]); st != nil {
+				for p := range dones {
+					dones[p] = st.done
+				}
+				return
+			}
 		}
-		for v := k - 1; v >= 1; v-- {
-			a := bb.claim(2*v, 0, true, ready[2*v])
-			c := bb.claim(2*v+1, 0, true, ready[2*v+1])
-			ready[v] = vlsi.MaxTime(a, c) + bb.t.nodeLatency
+		done := bb.reduceUniformU(rels[0])
+		if bb.rec != nil {
+			bb.recordU(planStep{op: opReduceU, rel: rels[0], done: done})
 		}
-		done := ready[Root] + w
 		for p := range dones {
 			dones[p] = done
 		}
@@ -275,7 +350,19 @@ func (bb *Batch) Gather(leaves []int, rels, dones []vlsi.Time) {
 		panic(fmt.Sprintf("tree: Gather with %d lane leaves, want %d", len(leaves), bb.b))
 	}
 	if bb.uniform && allEqual(rels) && allSameInt(leaves) && leaves[0] >= 0 {
-		done := bb.routeLane(0, bb.t.Leaf(leaves[0]), Root, rels[0])
+		src := bb.t.Leaf(leaves[0])
+		if bb.planActiveU() {
+			if st := bb.planStepU(opRoute, int32(src), Root, rels[0]); st != nil {
+				for p := range dones {
+					dones[p] = st.done
+				}
+				return
+			}
+		}
+		done := bb.routeLane(0, src, Root, rels[0])
+		if bb.rec != nil {
+			bb.recordU(planStep{op: opRoute, a: int32(src), b: Root, rel: rels[0], done: done})
+		}
 		for p := range dones {
 			dones[p] = done
 		}
@@ -300,7 +387,18 @@ func (bb *Batch) ExchangePairs(stride int, rels, dones []vlsi.Time) {
 		panic(fmt.Sprintf("tree: ExchangePairs stride %d (K=%d)", stride, bb.t.geom.K))
 	}
 	if bb.uniform && allEqual(rels) {
+		if bb.planActiveU() {
+			if st := bb.planStepU(opExchange, int32(stride), 0, rels[0]); st != nil {
+				for p := range dones {
+					dones[p] = st.done
+				}
+				return
+			}
+		}
 		done := bb.exchangeLane(0, stride, rels[0])
+		if bb.rec != nil {
+			bb.recordU(planStep{op: opExchange, a: int32(stride), rel: rels[0], done: done})
+		}
 		for p := range dones {
 			dones[p] = done
 		}
@@ -327,7 +425,7 @@ func (bb *Batch) exchangeLane(p, stride int, rel vlsi.Time) vlsi.Time {
 	return done
 }
 
-// routeLane is Tree.claimRoute on lane p's occupancy: up to the
+/// routeLane is Tree.claimRoute on lane p's occupancy: up to the
 // lowest common ancestor, then down, claim order and head arithmetic
 // identical to the single-instance router.
 func (bb *Batch) routeLane(p, src, dst int, rel vlsi.Time) vlsi.Time {

@@ -64,7 +64,15 @@ func (e *CutError) Error() string {
 // therefore decide route viability from CutLeaves alone, without
 // probing (and without spuriously claiming edges).
 func (t *Tree) SetFaults(f *fault.TreeFaults) {
+	// Every view change — injection, mid-run merge, clearing — evicts
+	// the compiled route plan: recorded claims are only valid under
+	// the view they were recorded against. The in-flight replay is
+	// synchronized under the outgoing view first, so the occupancy
+	// arrays are exactly what the interpreter would hold.
+	t.planInvalidate()
 	t.faults = f
+	t.faultSig = f.Fingerprint()
+	t.transient = f.HasTransients()
 	t.unreachable = nil
 	t.cutLeaves = nil
 	// The ascent sequence number restarts with the view: a recycled
@@ -109,20 +117,42 @@ func (t *Tree) RouteChecked(src, dst int, rel vlsi.Time) (vlsi.Time, error) {
 	if dst < 1 || dst >= 2*t.geom.K {
 		return 0, &NodeError{Op: "RouteChecked", Node: dst, K: t.geom.K}
 	}
-	up, down := pathVia(src, dst)
 	if t.faults.Dead() {
-		for _, v := range up {
-			if t.faults.EdgeDead(v) {
-				return 0, &CutError{Op: "RouteChecked", Node: v}
-			}
-		}
-		for _, v := range down {
-			if t.faults.EdgeDead(v) {
-				return 0, &CutError{Op: "RouteChecked", Node: v}
-			}
+		if v, cut := t.pathDead(src, dst); cut {
+			return 0, &CutError{Op: "RouteChecked", Node: v}
 		}
 	}
-	return t.claimPath(up, down, rel), nil
+	// Error paths above claim nothing and never advance a plan; a
+	// successful checked route records/replays exactly like Route.
+	return t.routeCommon(src, dst, rel), nil
+}
+
+// pathDead scans the src→LCA→dst path for dead edges without
+// allocating, visiting the up leg in traversal order and the down leg
+// top-down — the same scan order (and so the same reported node) as
+// the pathVia-based implementation it replaces.
+func (t *Tree) pathDead(src, dst int) (int, bool) {
+	var down [64]int
+	nd := 0
+	a, b := src, dst
+	for a != b {
+		if a > b {
+			if t.faults.EdgeDead(a) {
+				return a, true
+			}
+			a /= 2
+		} else {
+			down[nd] = b
+			nd++
+			b /= 2
+		}
+	}
+	for i := nd - 1; i >= 0; i-- {
+		if t.faults.EdgeDead(down[i]) {
+			return down[i], true
+		}
+	}
+	return 0, false
 }
 
 // broadcastFaulty is Broadcast over a tree with dead hardware: the

@@ -14,17 +14,40 @@ import "repro/internal/vlsi"
 // leaves) is deliberately NOT part of a State: faults merged after a
 // checkpoint must survive the rollback. Restore a State *after*
 // re-injecting the merged plan, never before.
+//
+// A State also remembers the compiled route plan (by identity) and
+// the replay cursor at capture time. A rollback resumes replay only
+// when the tree still holds that exact plan; if anything evicted it
+// in between — a MergeFaults above all, which changes the fault view
+// — the restore drops to pure interpretation, so a discarded attempt
+// can never be replayed against a stale schedule.
 type State struct {
 	upFree, downFree []vlsi.Time
 	ascents          uint64
+	plan             *RoutePlan
+	pos              int
 }
 
-// Snapshot copies the router's occupancy and ascent counter.
+// Snapshot copies the router's occupancy and ascent counter. The
+// replay state is synchronized first, so the arrays captured are
+// exactly the interpreter's; an in-flight recording freezes here —
+// checkpointed prefixes are valid plans (they start at Reset), and
+// over repeated supervised runs the plan grows segment by segment.
 func (t *Tree) Snapshot() *State {
+	t.sync()
+	if t.rec != nil {
+		t.freezePlan()
+		if t.plan != nil {
+			t.pos = len(t.plan.steps)
+			t.applied = t.pos
+		}
+	}
 	s := &State{
 		upFree:   make([]vlsi.Time, len(t.upFree)),
 		downFree: make([]vlsi.Time, len(t.downFree)),
 		ascents:  t.ascents,
+		plan:     t.plan,
+		pos:      t.pos,
 	}
 	copy(s.upFree, t.upFree)
 	copy(s.downFree, t.downFree)
@@ -39,4 +62,13 @@ func (t *Tree) Restore(s *State) {
 	copy(t.upFree, s.upFree)
 	copy(t.downFree, s.downFree)
 	t.ascents = s.ascents
+	t.occDirty = false
+	t.rec = nil
+	t.adopt = false
+	if s.plan != nil && s.plan == t.plan {
+		t.pos, t.applied = s.pos, s.pos
+		return
+	}
+	t.plan = nil
+	t.pos, t.applied = 0, 0
 }

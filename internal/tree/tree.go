@@ -53,6 +53,27 @@ type Tree struct {
 	cutLeaves   []int  // leaf indices with unreachable[K+j], sorted
 	ascents     uint64 // combining-ascent sequence number
 
+	// Route-compilation state (see plan.go). shapeSig fingerprints
+	// the immutable shape (K, word width, per-edge latencies) so
+	// plans can be shared across same-shape trees; faultSig
+	// fingerprints the attached view; transient marks a view that
+	// draws transient corruptions, which never compiles.
+	shapeSig   uint64
+	faultSig   uint64
+	transient  bool
+	cache      *PlanCache
+	compileOff bool
+	plan       *RoutePlan
+	// pos is the replay cursor; applied is the watermark up to which
+	// the occupancy arrays have been materialized (replay never
+	// touches them). occDirty marks arrays not yet zeroed for the
+	// current run — a replayed Reset is O(1).
+	pos, applied int
+	occDirty     bool
+	rec          *planRecorder
+	adopt        bool // first op after Reset adopts or starts recording
+	inOp         bool // inside an interpretation (suppress nesting)
+
 	// scratch holds the per-operation work buffers, sized once in
 	// build and reused on every call so the steady-state router
 	// allocates nothing. A Tree is owned by exactly one simulated
@@ -115,6 +136,14 @@ func build(geom *layout.TreeGeom, cfg vlsi.Config, scaled bool) (*Tree, error) {
 	t.scratch.hasWord = make([]bool, 2*geom.K)
 	t.scratch.rels = make([]vlsi.Time, geom.K)
 	t.scratch.redo = make([]vlsi.Time, geom.K)
+	sig := mix64(uint64(geom.K)<<32 ^ uint64(cfg.WordBits))
+	sig = mix64(sig ^ uint64(t.nodeLatency))
+	for v := 2; v < 2*geom.K; v++ {
+		sig = mix64(sig ^ uint64(t.first[v])*0x9E3779B97F4A7C15)
+	}
+	t.shapeSig = sig
+	t.cache = defaultPlanCache
+	t.adopt = true
 	return t, nil
 }
 
@@ -139,11 +168,24 @@ const Root = 1
 // experiments. (Pipelined algorithms deliberately do NOT reset
 // between operations; the shared edge state is what models the
 // pipeline.)
+//
+// Reset is also the plan boundary: an in-flight recording freezes
+// into the tree's RoutePlan here, and a tree holding a plan re-arms
+// replay in O(1) — the arrays are zeroed lazily, only if the coming
+// run diverges from the plan (see plan.go).
 func (t *Tree) Reset() {
-	for v := range t.upFree {
-		t.upFree[v] = 0
-		t.downFree[v] = 0
+	if t.rec != nil {
+		t.freezePlan()
 	}
+	t.pos, t.applied = 0, 0
+	if t.plan != nil {
+		t.occDirty = true
+		t.adopt = false
+		return
+	}
+	t.zeroOcc()
+	t.occDirty = false
+	t.adopt = !t.compileOff && !t.transient
 }
 
 // claim reserves the directional edge between node v and its parent
@@ -171,7 +213,25 @@ func (t *Tree) claim(v int, up bool, head vlsi.Time) vlsi.Time {
 func (t *Tree) Route(src, dst int, rel vlsi.Time) vlsi.Time {
 	t.checkNode(src)
 	t.checkNode(dst)
-	return t.claimRoute(src, dst, rel)
+	return t.routeCommon(src, dst, rel)
+}
+
+// routeCommon is the compile/replay wrapper shared by Route and
+// RouteChecked (whose validations have already passed).
+func (t *Tree) routeCommon(src, dst int, rel vlsi.Time) vlsi.Time {
+	if t.planActive() {
+		if st := t.planStep(opRoute, int32(src), int32(dst), rel, nil); st != nil {
+			return st.done
+		}
+	}
+	prev := t.inOp
+	t.inOp = true
+	done := t.claimRoute(src, dst, rel)
+	t.inOp = prev
+	if !prev && t.rec != nil {
+		t.record(planStep{op: opRoute, a: int32(src), b: int32(dst), rel: rel, done: done})
+	}
+	return done
 }
 
 // claimRoute is claimPath without materialising the path: the up leg
@@ -209,23 +269,6 @@ func (t *Tree) claimRoute(src, dst int, rel vlsi.Time) vlsi.Time {
 	return head + vlsi.Time(t.cfg.WordBits-1)
 }
 
-// claimPath claims the up-leg and down-leg edges of a routed word in
-// traversal order and returns its completion time at the far end.
-func (t *Tree) claimPath(up, down []int, rel vlsi.Time) vlsi.Time {
-	head := rel
-	for i, v := range up {
-		if i > 0 {
-			head += t.nodeLatency
-		}
-		head = t.claim(v, true, head)
-	}
-	for _, v := range down {
-		head += t.nodeLatency
-		head = t.claim(v, false, head)
-	}
-	return head + vlsi.Time(t.cfg.WordBits-1)
-}
-
 func (t *Tree) checkNode(v int) {
 	if v < 1 || v >= 2*t.geom.K {
 		panic(fmt.Sprintf("tree: node %d out of range [1,%d)", v, 2*t.geom.K))
@@ -259,10 +302,30 @@ func pathVia(src, dst int) (up, down []int) {
 // and pass it on to the sons"). rel is the time the word is ready at
 // the root. It returns the per-leaf completion times and the maximum.
 //
-// The returned perLeaf slice is the tree's reusable scratch buffer:
-// it is valid until this tree's next operation and must not be
-// mutated or retained across one.
+// The returned perLeaf slice is read-only for the caller: in
+// interpreted runs it is the tree's reusable scratch buffer (valid
+// until the next operation); in replayed runs it is the plan's frozen
+// copy. Either way it must not be mutated or retained across an
+// operation.
 func (t *Tree) Broadcast(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time) {
+	if t.planActive() {
+		if st := t.planStep(opBroadcast, 0, 0, rel, nil); st != nil {
+			return st.perLeaf, st.done
+		}
+	}
+	prev := t.inOp
+	t.inOp = true
+	perLeaf, done = t.broadcastInterp(rel)
+	t.inOp = prev
+	if !prev && t.rec != nil {
+		t.record(planStep{op: opBroadcast, rel: rel, done: done,
+			perLeaf: append([]vlsi.Time(nil), perLeaf...)})
+	}
+	return perLeaf, done
+}
+
+// broadcastInterp is the interpreted broadcast (healthy or degraded).
+func (t *Tree) broadcastInterp(rel vlsi.Time) (perLeaf []vlsi.Time, done vlsi.Time) {
 	if t.faults.Dead() {
 		return t.broadcastFaulty(rel)
 	}
@@ -309,6 +372,26 @@ func (t *Tree) Reduce(rel []vlsi.Time) vlsi.Time {
 	if len(rel) != k {
 		panic(fmt.Sprintf("tree: Reduce with %d release times, want %d", len(rel), k))
 	}
+	if t.planActive() {
+		if st := t.planStep(opReduce, 0, 0, 0, rel); st != nil {
+			return st.done
+		}
+	}
+	prev := t.inOp
+	t.inOp = true
+	done := t.reduceInterp(rel)
+	t.inOp = prev
+	if !prev && t.rec != nil {
+		t.record(planStep{op: opReduce, done: done,
+			rels: append([]vlsi.Time(nil), rel...)})
+	}
+	return done
+}
+
+// reduceInterp is the interpreted combining ascent (healthy or, via
+// the retry loop, degraded).
+func (t *Tree) reduceInterp(rel []vlsi.Time) vlsi.Time {
+	k := t.geom.K
 	if t.faults != nil {
 		return t.reduceFaulty(rel)
 	}
@@ -323,12 +406,30 @@ func (t *Tree) Reduce(rel []vlsi.Time) vlsi.Time {
 }
 
 // ReduceUniform is Reduce with all leaves releasing at the same time.
+// It records as its own O(1)-matchable step kind: the uniform release
+// compresses the K-length vector to one scalar.
 func (t *Tree) ReduceUniform(rel vlsi.Time) vlsi.Time {
+	if t.planActive() {
+		if st := t.planStep(opReduceU, 0, 0, rel, nil); st != nil {
+			return st.done
+		}
+	}
+	prev := t.inOp
+	t.inOp = true
+	done := t.reduceUniformInterp(rel)
+	t.inOp = prev
+	if !prev && t.rec != nil {
+		t.record(planStep{op: opReduceU, rel: rel, done: done})
+	}
+	return done
+}
+
+func (t *Tree) reduceUniformInterp(rel vlsi.Time) vlsi.Time {
 	rels := t.scratch.rels
 	for i := range rels {
 		rels[i] = rel
 	}
-	return t.Reduce(rels)
+	return t.reduceInterp(rels)
 }
 
 // ExchangePairs models the COMPEX step of Section IV: every leaf j
@@ -345,14 +446,32 @@ func (t *Tree) ExchangePairs(stride int, rel vlsi.Time) vlsi.Time {
 	if !vlsi.IsPow2(stride) || stride >= t.geom.K {
 		panic(fmt.Sprintf("tree: ExchangePairs stride %d (K=%d)", stride, t.geom.K))
 	}
+	if t.planActive() {
+		if st := t.planStep(opExchange, int32(stride), 0, rel, nil); st != nil {
+			return st.done
+		}
+	}
+	prev := t.inOp
+	t.inOp = true
+	done := t.exchangeInterp(stride, rel)
+	t.inOp = prev
+	if !prev && t.rec != nil {
+		t.record(planStep{op: opExchange, a: int32(stride), rel: rel, done: done})
+	}
+	return done
+}
+
+// exchangeInterp claims the pairwise routes (claim order identical to
+// per-pair Route calls; leaf node indices are valid by construction).
+func (t *Tree) exchangeInterp(stride int, rel vlsi.Time) vlsi.Time {
 	var done vlsi.Time
 	for j := 0; j < t.geom.K; j++ {
 		if j&stride != 0 {
 			continue
 		}
 		a, b := t.Leaf(j), t.Leaf(j+stride)
-		d1 := t.Route(a, b, rel)
-		d2 := t.Route(b, a, rel)
+		d1 := t.claimRoute(a, b, rel)
+		d2 := t.claimRoute(b, a, rel)
 		done = vlsi.MaxTimes(done, d1, d2)
 	}
 	return done
