@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes servesmoke servesweep ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 # fuzz, stale-plan recovery) under the detector by name, so a test
 # rename can't silently drop them.
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/...
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/... ./internal/server/...
 	$(GO) test -race -run 'Deterministic|Parallel|Batch|Recovery' ./internal/analysis/... ./internal/algorithms/sorting/...
 	$(GO) test -race -run 'Plan|StalePlans' ./internal/tree/... ./internal/mcache/... ./internal/resilience/...
 
@@ -66,4 +66,17 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'Table1SortOTN' -benchtime 2x .
 	$(GO) run ./cmd/otsim -alg sort -n 16 -schedule 2 -json > /dev/null
 
-ci: build vet test race benchsmoke
+# End-to-end service smoke: build otserve under the race detector,
+# drive it past capacity with otload (flooding client included), then
+# SIGTERM and require a clean drain plus a zero-goroutine-leak exit
+# check. See scripts/servesmoke.sh.
+servesmoke:
+	./scripts/servesmoke.sh
+
+# Service degradation table: an in-process otserve at three offered
+# loads; p99 must stay bounded and errors zero while shed % absorbs
+# the overload.
+servesweep:
+	$(GO) run ./cmd/otbench -servesweep
+
+ci: build vet test race benchsmoke servesmoke

@@ -62,6 +62,7 @@ func main() {
 	compare := flag.String("compare", "", "run the benchmark suite and diff against this baseline file")
 	throughput := flag.Bool("throughput", false, "run only the batched benchmarks and print an instances/sec table")
 	routes := flag.Bool("routes", false, "run the route-bound benchmarks compiled and interpreted and print the comparison table")
+	servesweep := flag.Bool("servesweep", false, "drive an in-process otserve at three offered-load levels and print the degradation table")
 	hosttol := flag.Float64("hosttol", 0, "percentage tolerance on ns/op regressions in -compare; 0 keeps host times info-only")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -80,7 +81,9 @@ func main() {
 	}
 
 	ok := true
-	if *routes {
+	if *servesweep {
+		ok = servesweepMode()
+	} else if *routes {
 		ok = routesMode()
 	} else if *throughput {
 		throughputMode()

@@ -1,0 +1,78 @@
+// Command otload drives an otserve instance with synthetic open-loop
+// traffic and reports what the admission ladder did about it: latency
+// percentiles for the jobs that ran, shed rates for the ones it
+// refused, and per-client counts that show fairness isolating a
+// misbehaving client.
+//
+// Usage:
+//
+//	otload -url http://localhost:8080 -rate 100 -duration 5s
+//	otload -arrival bursty                # 3× rate bursts, same mean
+//	otload -misbehave                     # add a 4×-rate flooding client
+//	otload -alg cc -n 64 -deadline 200    # cc jobs with 200ms deadlines
+//	otload -events 3                      # supervised jobs (mid-run faults)
+//	otload -json                          # machine-readable summary
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "otserve base URL")
+	rate := flag.Float64("rate", 50, "offered load, jobs/sec")
+	duration := flag.Duration("duration", 2*time.Second, "length of the arrival schedule")
+	arrival := flag.String("arrival", "poisson", "arrival process: poisson | uniform | bursty")
+	clients := flag.Int("clients", 4, "spread load over this many client IDs")
+	misbehave := flag.Bool("misbehave", false, "add one flooding client at 4× rate")
+	seed := flag.Uint64("seed", 1, "schedule + job seed")
+	alg := flag.String("alg", "sort", "job workload: sort | cc")
+	n := flag.Int("n", 16, "job problem size (power of two)")
+	network := flag.String("network", "", "job network: otn | scaled (default otn)")
+	model := flag.String("model", "", "job delay model: log | const | linear (default log)")
+	faults := flag.Int("faults", 0, "static faults per job")
+	events := flag.Int("events", -1, "supervised mid-run fault arrivals (-1 = plain jobs)")
+	deadline := flag.Int64("deadline", 0, "per-job deadline, ms (0 = none)")
+	jsonOut := flag.Bool("json", false, "print the summary as JSON")
+	minOK := flag.Int("minok", 0, "exit 1 unless at least this many jobs completed")
+	flag.Parse()
+
+	job := server.Job{
+		Alg: *alg, Network: *network, Model: *model, N: *n, Seed: *seed,
+		Faults: *faults, DeadlineMS: *deadline,
+	}
+	if *events >= 0 {
+		ev := *events
+		job.Events = &ev
+	}
+	sum, err := loadgen.Run(loadgen.Options{
+		URL: *url, Rate: *rate, Duration: *duration, Arrival: *arrival,
+		Clients: *clients, Misbehave: *misbehave, Seed: *seed, Job: job,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otload: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	} else {
+		fmt.Print(sum.Text())
+	}
+	if sum.Transport > 0 || sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "otload: %d transport errors, %d server failures\n", sum.Transport, sum.Failed)
+		os.Exit(1)
+	}
+	if sum.OK < *minOK {
+		fmt.Fprintf(os.Stderr, "otload: only %d jobs completed, need %d\n", sum.OK, *minOK)
+		os.Exit(1)
+	}
+}

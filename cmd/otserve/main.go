@@ -1,0 +1,126 @@
+// Command otserve runs the simulation service: POST jobs to /jobs and
+// receive the same JSON report otsim -json prints, with admission
+// control (bounded queue, per-client fairness, per-class circuit
+// breaker), per-job deadlines and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	otserve -addr :8080
+//	otserve -workers 8 -queue 64 -lanes 8 -cachecap 8
+//	otserve -rate 50 -burst 25            # per-client token buckets
+//	otserve -breaker 3                    # trip after 3 class failures
+//	otserve -draintimeout 30s             # SIGTERM → finish in-flight
+//	otserve -leakcheck                    # verify zero leaked goroutines at exit
+//
+//	curl -s localhost:8080/jobs -d '{"alg":"sort","n":16,"seed":1}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "worker pool width")
+	queue := flag.Int("queue", 0, "admission queue capacity (0 = 4×workers)")
+	lanes := flag.Int("lanes", 8, "max batch-coalescing lanes (1 disables)")
+	cachecap := flag.Int("cachecap", 0, "machines per cache shard (0 = workers)")
+	rate := flag.Float64("rate", 50, "per-client token-bucket rate, jobs/sec (-1 disables)")
+	burst := flag.Float64("burst", 25, "per-client token-bucket burst")
+	breaker := flag.Int("breaker", 3, "consecutive class failures that trip the breaker (-1 disables)")
+	breakerBase := flag.Duration("breakerbase", time.Second, "first breaker-open interval (doubles per trip)")
+	breakerMax := flag.Duration("breakermax", 16*time.Second, "breaker backoff cap")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to finish in-flight jobs on SIGTERM")
+	leakcheck := flag.Bool("leakcheck", false, "after drain, fail (exit 3) if goroutines leaked")
+	flag.Parse()
+
+	baseline := runtime.NumGoroutine()
+
+	srv := server.New(server.Config{
+		Workers: *workers, QueueCap: *queue, MaxLanes: *lanes, CacheCap: *cachecap,
+		Rate: *rate, Burst: *burst,
+		BreakerThreshold: *breaker, BreakerBase: *breakerBase, BreakerMax: *breakerMax,
+	})
+	httpSrv := &http.Server{Handler: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "otserve: listening on %s (workers %d, queue %d, lanes %d)\n",
+		ln.Addr(), *workers, *queue, *lanes)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "otserve: %v — draining (timeout %s)\n", s, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "otserve: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// The shutdown ladder: stop admitting and finish every queued and
+	// in-flight job (Drain), then close idle HTTP connections once the
+	// handlers have flushed their results (Shutdown).
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "otserve: drain: %v\n", err)
+		code = 2
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "otserve: shutdown: %v\n", err)
+		code = 2
+	}
+
+	snap := srv.Metrics()
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	fmt.Fprintln(os.Stderr, "otserve: final metrics:")
+	enc.Encode(snap)
+
+	if *leakcheck && code == 0 {
+		if !settled(baseline) {
+			fmt.Fprintf(os.Stderr, "otserve: goroutine leak: %d alive, baseline %d\n",
+				runtime.NumGoroutine(), baseline)
+			pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+			code = 3
+		} else {
+			fmt.Fprintln(os.Stderr, "otserve: leakcheck ok")
+		}
+	}
+	os.Exit(code)
+}
+
+// settled polls until the goroutine count returns to the pre-server
+// baseline (plus the signal-notify goroutine) or 5s elapse.
+func settled(baseline int) bool {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+1 {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

@@ -19,7 +19,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -28,6 +27,7 @@ import (
 
 	orthotrees "repro"
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/vlsi"
 )
 
@@ -230,13 +230,13 @@ func main() {
 		runErr = faulted.Err()
 	}
 	if *jsonOut {
-		rep := report{
+		rep := report.Report{
 			Alg: *alg, Network: *network, Model: dm.Name(), N: *n, Seed: *seed,
 			Time: int64(elapsed), Area: int64(area), AT2: metric.AT2(),
 			Faults: *faults, Recovered: runErr == nil,
 		}
 		if faulted != nil {
-			rep.Health = healthJSONOf(faulted.Health())
+			rep.Health = report.HealthOf(faulted.Health())
 		}
 		if runErr != nil {
 			rep.Error = runErr.Error()
@@ -248,69 +248,14 @@ func main() {
 	}
 }
 
-// report is the -json schema: one object on stdout per run, covering
-// the model outputs and — for faulty or supervised runs — the health
-// and recovery ledger. Recovered is false exactly when the process
+// The -json schema — one report.Report on stdout per run, covering
+// the model outputs and, for faulty or supervised runs, the health
+// and recovery ledger — lives in internal/report, shared with
+// otserve and otload. Recovered is false exactly when the process
 // exits non-zero.
-type report struct {
-	Alg     string `json:"alg"`
-	Network string `json:"network"`
-	Model   string `json:"model"`
-	N       int    `json:"n"`
-	Seed    uint64 `json:"seed"`
-	// Supervised runs: the arrival count and the fault-free baseline.
-	Events      int   `json:"events,omitempty"`
-	HealthyTime int64 `json:"healthy_time,omitempty"`
 
-	Time int64   `json:"time_bit_times"`
-	Area int64   `json:"area_lambda2"`
-	AT2  float64 `json:"at2"`
-
-	Faults    int         `json:"faults,omitempty"`
-	Recovered bool        `json:"recovered"`
-	Correct   *bool       `json:"correct,omitempty"`
-	Health    *healthJSON `json:"health,omitempty"`
-	Error     string      `json:"error,omitempty"`
-}
-
-// healthJSON flattens the fault/recovery ledger for the -json report.
-type healthJSON struct {
-	DeadEdges          int   `json:"dead_edges"`
-	DeadIPs            int   `json:"dead_ips"`
-	StuckBPs           int   `json:"stuck_bps"`
-	Transients         int   `json:"transients"`
-	Retries            int   `json:"retries"`
-	Reroutes           int   `json:"reroutes"`
-	RetryLatency       int64 `json:"retry_latency_bit_times"`
-	RerouteLatency     int64 `json:"reroute_latency_bit_times"`
-	Arrivals           int   `json:"arrivals"`
-	Checkpoints        int   `json:"checkpoints"`
-	Rollbacks          int   `json:"rollbacks"`
-	Healed             int   `json:"healed"`
-	CheckpointOverhead int64 `json:"checkpoint_overhead_bit_times"`
-	RollbackLatency    int64 `json:"rollback_latency_bit_times"`
-	Failures           int   `json:"failures"`
-}
-
-func healthJSONOf(h *orthotrees.Health) *healthJSON {
-	if h == nil {
-		return nil
-	}
-	return &healthJSON{
-		DeadEdges: h.DeadEdges, DeadIPs: h.DeadIPs, StuckBPs: h.StuckBPs,
-		Transients: h.Transients, Retries: h.Retries, Reroutes: h.Reroutes,
-		RetryLatency:   int64(h.RetryLatency),
-		RerouteLatency: int64(h.RerouteLatency),
-		Arrivals:       h.Arrivals, Checkpoints: h.Checkpoints,
-		Rollbacks: h.Rollbacks, Healed: h.Healed,
-		CheckpointOverhead: int64(h.CheckpointOverhead),
-		RollbackLatency:    int64(h.RollbackLatency),
-		Failures:           h.Failures(),
-	}
-}
-
-func emitJSON(rep report) {
-	data, err := json.MarshalIndent(rep, "", "  ")
+func emitJSON(rep report.Report) {
+	data, err := rep.Marshal()
 	if err != nil {
 		fail(err)
 	}
@@ -399,12 +344,12 @@ func runSupervised(alg string, n int, network string, dm vlsi.DelayModel, seed u
 
 	if jsonOut {
 		metric := orthotrees.Metric{Area: m.Area(), Time: done}
-		rep := report{
+		rep := report.Report{
 			Alg: alg, Network: network, Model: dm.Name(), N: n, Seed: seed,
 			Events: events, HealthyTime: int64(healthyT),
 			Time: int64(done), Area: int64(m.Area()), AT2: metric.AT2(),
 			Recovered: recovered, Correct: &correct,
-			Health: healthJSONOf(m.Health()),
+			Health: report.HealthOf(m.Health()),
 		}
 		if runErr != nil {
 			rep.Error = runErr.Error()

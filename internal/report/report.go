@@ -1,0 +1,138 @@
+// Package report defines the machine-readable simulation report —
+// the JSON object `otsim -json` prints, `otserve` streams back to
+// job submitters, and `otload` parses when it scores a run. Keeping
+// the schema in one place is what makes the server's results
+// comparable, byte for byte, with a local otsim run of the same job:
+// all three binaries marshal this struct and nothing else.
+//
+// The schema is documented in docs/report-schema.md; changes here
+// must keep that file and the three binaries in sync.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Report is one simulation run's machine-readable result. Exactly one
+// object is emitted per run. Fields tagged omitempty appear only for
+// the modes that produce them (supervised runs carry Events and
+// HealthyTime, faulty or supervised runs carry Health, server runs
+// carry JobID).
+type Report struct {
+	Alg     string `json:"alg"`
+	Network string `json:"network"`
+	Model   string `json:"model"`
+	N       int    `json:"n"`
+	Seed    uint64 `json:"seed"`
+
+	// Supervised runs: the arrival count and the fault-free baseline.
+	Events      int   `json:"events,omitempty"`
+	HealthyTime int64 `json:"healthy_time,omitempty"`
+
+	Time int64   `json:"time_bit_times"`
+	Area int64   `json:"area_lambda2"`
+	AT2  float64 `json:"at2"`
+
+	Faults    int     `json:"faults,omitempty"`
+	Recovered bool    `json:"recovered"`
+	Correct   *bool   `json:"correct,omitempty"`
+	Health    *Health `json:"health,omitempty"`
+	Error     string  `json:"error,omitempty"`
+
+	// JobID echoes the submitter's job identifier on server runs; it
+	// never appears in otsim output and is excluded from equivalence
+	// comparisons (see Same).
+	JobID string `json:"job_id,omitempty"`
+}
+
+// Health flattens the fault/recovery ledger (fault.Health) for the
+// report.
+type Health struct {
+	DeadEdges          int   `json:"dead_edges"`
+	DeadIPs            int   `json:"dead_ips"`
+	StuckBPs           int   `json:"stuck_bps"`
+	Transients         int   `json:"transients"`
+	Retries            int   `json:"retries"`
+	Reroutes           int   `json:"reroutes"`
+	RetryLatency       int64 `json:"retry_latency_bit_times"`
+	RerouteLatency     int64 `json:"reroute_latency_bit_times"`
+	Arrivals           int   `json:"arrivals"`
+	Checkpoints        int   `json:"checkpoints"`
+	Rollbacks          int   `json:"rollbacks"`
+	Healed             int   `json:"healed"`
+	CheckpointOverhead int64 `json:"checkpoint_overhead_bit_times"`
+	RollbackLatency    int64 `json:"rollback_latency_bit_times"`
+	Failures           int   `json:"failures"`
+}
+
+// HealthOf flattens a machine's ledger; nil in, nil out (healthy runs
+// omit the field).
+func HealthOf(h *fault.Health) *Health {
+	if h == nil {
+		return nil
+	}
+	return &Health{
+		DeadEdges: h.DeadEdges, DeadIPs: h.DeadIPs, StuckBPs: h.StuckBPs,
+		Transients: h.Transients, Retries: h.Retries, Reroutes: h.Reroutes,
+		RetryLatency:   int64(h.RetryLatency),
+		RerouteLatency: int64(h.RerouteLatency),
+		Arrivals:       h.Arrivals, Checkpoints: h.Checkpoints,
+		Rollbacks: h.Rollbacks, Healed: h.Healed,
+		CheckpointOverhead: int64(h.CheckpointOverhead),
+		RollbackLatency:    int64(h.RollbackLatency),
+		Failures:           h.Failures(),
+	}
+}
+
+// Marshal renders the report the way otsim prints it (indented, no
+// trailing newline).
+func (r *Report) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Same reports whether two reports describe bit-identical simulations:
+// every simulated quantity — times, area, A·T², health counters,
+// recovery verdicts — must match. JobID is transport metadata and is
+// ignored. This is the equality the server's determinism guarantee is
+// stated in.
+func (r *Report) Same(o *Report) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	a, b := *r, *o
+	a.JobID, b.JobID = "", ""
+	ah, bh := a.Health, b.Health
+	a.Health, b.Health = nil, nil
+	a.Correct, b.Correct = nil, nil
+	if a != b {
+		return false
+	}
+	if (r.Correct == nil) != (o.Correct == nil) {
+		return false
+	}
+	if r.Correct != nil && *r.Correct != *o.Correct {
+		return false
+	}
+	if (ah == nil) != (bh == nil) {
+		return false
+	}
+	if ah != nil && *ah != *bh {
+		return false
+	}
+	return true
+}
+
+// Diff returns a short human description of the first difference
+// between two reports, or "" when Same. Test helpers and otload use
+// it to explain determinism failures.
+func (r *Report) Diff(o *Report) string {
+	if r.Same(o) {
+		return ""
+	}
+	ra, _ := r.Marshal()
+	rb, _ := o.Marshal()
+	return fmt.Sprintf("reports differ:\n%s\nvs\n%s", ra, rb)
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripAndSame(t *testing.T) {
+	correct := true
+	r := &Report{
+		Alg: "sort", Network: "otn", Model: "log", N: 16, Seed: 7,
+		Events: 3, HealthyTime: 100, Time: 140, Area: 2048, AT2: 4.0128e7,
+		Recovered: true, Correct: &correct,
+		Health: &Health{DeadEdges: 3, Arrivals: 3, Checkpoints: 2, Healed: 3},
+	}
+	raw, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !back.Same(r) {
+		t.Fatalf("round-trip changed the report:\n%s", back.Diff(r))
+	}
+
+	// JobID is transport identity, not simulation output: it must not
+	// affect Same.
+	withID := *r
+	withID.JobID = "req-9"
+	if !withID.Same(r) {
+		t.Error("JobID broke Same")
+	}
+
+	// Any simulated quantity must.
+	slower := *r
+	slower.Time = 141
+	if slower.Same(r) {
+		t.Error("Time difference not detected")
+	}
+	if d := slower.Diff(r); !strings.Contains(d, "time") && !strings.Contains(d, "Time") {
+		t.Errorf("diff does not name the field: %q", d)
+	}
+}
+
+func TestOmitEmpty(t *testing.T) {
+	r := &Report{Alg: "sort", Network: "otn", Model: "log", N: 16, Seed: 7,
+		Time: 140, Area: 2048, AT2: 4.0128e7, Recovered: true}
+	raw, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{"job_id", "error", "health", "correct"} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("zero-value field %q serialized:\n%s", field, raw)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Fairness is the per-client token-bucket layer: every client drains
+// its own bucket, so a misbehaving client exhausts its own tokens and
+// collects 429s while everyone else's jobs keep flowing. Buckets
+// refill continuously at Rate tokens/second up to Burst.
+type Fairness struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// maxClients bounds the bucket map; beyond it the map is reset (a
+// refilled-from-full bucket is the common state, so forgetting idle
+// clients only forgives them a burst).
+const maxClients = 16384
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewFairness builds the layer; rate ≤ 0 disables it (every client
+// always admitted).
+func NewFairness(rate, burst float64, now func() time.Time) *Fairness {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Fairness{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from client's bucket. When the bucket is
+// empty it reports false and how long until a token accrues — the
+// Retry-After the handler sends with the 429.
+func (f *Fairness) Allow(client string) (bool, time.Duration) {
+	if f == nil || f.rate <= 0 {
+		return true, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+	b := f.buckets[client]
+	if b == nil {
+		if len(f.buckets) >= maxClients {
+			f.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: f.burst, last: now}
+		f.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * f.rate
+	if b.tokens > f.burst {
+		b.tokens = f.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / f.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

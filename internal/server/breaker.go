@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Breaker is a per-job-class circuit breaker. A class (one
+// (alg, network, model, N, mode) shape — see Job.Class) that keeps
+// producing unrecoverable failures — the supervisor's GiveUpError, a
+// panic caught by the pool, a sticky machine error — is a class the
+// service should stop paying full price to fail on: after Threshold
+// consecutive failures the breaker opens and the class answers fast
+// 503s. After a backoff that doubles per trip (base..max) the breaker
+// half-opens, letting exactly one probe job through; a probe success
+// closes it, a probe failure re-opens it with a longer backoff.
+type Breaker struct {
+	threshold int
+	base, max time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	classes map[string]*breakerClass
+	trips   int64 // lifetime trip count, for /metrics
+}
+
+type breakerState int
+
+const (
+	stClosed breakerState = iota
+	stOpen
+	stHalfOpen
+)
+
+type breakerClass struct {
+	state   breakerState
+	fails   int       // consecutive breaker-visible failures
+	trips   int       // times this class opened (drives the backoff)
+	until   time.Time // open until
+	probing bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker; threshold ≤ 0 disables it.
+func NewBreaker(threshold int, base, max time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = 16 * base
+	}
+	return &Breaker{threshold: threshold, base: base, max: max, now: now,
+		classes: make(map[string]*breakerClass)}
+}
+
+// Allow asks whether a job of class may be admitted. An open class
+// reports false and the remaining open time (the 503's Retry-After);
+// a class whose backoff has elapsed half-opens and admits exactly one
+// probe.
+func (b *Breaker) Allow(class string) (bool, time.Duration) {
+	if b == nil || b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.classes[class]
+	if c == nil {
+		return true, 0
+	}
+	switch c.state {
+	case stClosed:
+		return true, 0
+	case stOpen:
+		if rem := c.until.Sub(b.now()); rem > 0 {
+			return false, rem
+		}
+		c.state = stHalfOpen
+		c.probing = true
+		return true, 0
+	default: // half-open
+		if c.probing {
+			return false, b.base
+		}
+		c.probing = true
+		return true, 0
+	}
+}
+
+// Record reports a finished job of class. Only breaker-visible
+// failures count (see Counts); a success closes the class and resets
+// its failure run.
+func (b *Breaker) Record(class string, err error) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.classes[class]
+	if err == nil {
+		if c != nil {
+			c.state = stClosed
+			c.fails = 0
+			c.trips = 0
+			c.probing = false
+		}
+		return
+	}
+	if c == nil {
+		c = &breakerClass{}
+		b.classes[class] = c
+	}
+	c.fails++
+	c.probing = false
+	if c.state == stHalfOpen || c.fails >= b.threshold {
+		c.trips++
+		b.trips++
+		backoff := b.base << uint(c.trips-1)
+		if backoff > b.max || backoff <= 0 {
+			backoff = b.max
+		}
+		c.state = stOpen
+		c.until = b.now().Add(backoff)
+		c.fails = 0
+	}
+}
+
+// Counts reports whether err is a breaker-visible failure: the
+// recovery supervisor giving up, a caught panic, a sticky machine
+// error — anything that says "this job class fails when run". Context
+// cancellation (a drain interrupting a machine checkout, a dead
+// deadline) says nothing about the class and is not counted. Shed and
+// validation outcomes never reach the breaker at all.
+func Counts(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// IsGiveUp reports whether err is the supervisor's GiveUpError — the
+// canonical breaker trigger, surfaced separately in /metrics.
+func IsGiveUp(err error) bool {
+	var give *resilience.GiveUpError
+	return errors.As(err, &give)
+}
+
+// OpenClasses returns how many classes are currently open and the
+// lifetime trip count (for /metrics).
+func (b *Breaker) OpenClasses() (open int, trips int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	for _, c := range b.classes {
+		if c.state == stOpen && c.until.After(now) {
+			open++
+		}
+	}
+	return open, b.trips
+}

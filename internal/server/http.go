@@ -1,0 +1,348 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/mcache"
+	"repro/internal/report"
+)
+
+// Config tunes the service. The zero value of every field means its
+// default.
+type Config struct {
+	// Workers is the worker-pool width (default 4).
+	Workers int
+	// QueueCap bounds the admission queue (default 4 × Workers).
+	QueueCap int
+	// MaxLanes bounds batch coalescing (default 8; 1 disables).
+	MaxLanes int
+	// CacheCap bounds checked-out machines per shape shard (default
+	// Workers; 0 would be unbounded, which a service never wants).
+	CacheCap int
+	// Rate and Burst configure per-client token buckets (defaults 50
+	// jobs/sec, burst 25; Rate < 0 disables fairness).
+	Rate, Burst float64
+	// BreakerThreshold consecutive failures trip a job class's
+	// circuit breaker (default 3; < 0 disables). BreakerBase is the
+	// first open interval, doubling per trip up to BreakerMax
+	// (defaults 1s and 16s).
+	BreakerThreshold       int
+	BreakerBase, BreakerMax time.Duration
+	// Now is the clock used by fairness and the breaker (tests).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.Workers
+	}
+	if c.MaxLanes <= 0 {
+		c.MaxLanes = 8
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = c.Workers
+	}
+	if c.Rate == 0 {
+		c.Rate = 50
+	}
+	if c.Burst == 0 {
+		c.Burst = 25
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBase == 0 {
+		c.BreakerBase = time.Second
+	}
+	if c.BreakerMax == 0 {
+		c.BreakerMax = 16 * time.Second
+	}
+	return c
+}
+
+// Server is the simulation service: an http.Handler plus the
+// admission machinery behind it.
+type Server struct {
+	cfg      Config
+	cache    *mcache.Cache
+	executor *Executor
+	fairness *Fairness
+	breaker  *Breaker
+	metrics  *Metrics
+	pool     *Pool
+	mux      *http.ServeMux
+}
+
+// New assembles a started server (workers running, admitting).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.cache = mcache.NewWithCapacity(cfg.CacheCap)
+	s.executor = NewExecutor(s.cache)
+	s.fairness = NewFairness(cfg.Rate, cfg.Burst, cfg.Now)
+	s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerBase, cfg.BreakerMax, cfg.Now)
+	s.metrics = NewMetrics()
+	s.pool = NewPool(cfg.Workers, cfg.QueueCap, cfg.MaxLanes, s.executor.RunBatch, s.breaker, s.metrics)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain executes the shutdown ladder (see Pool.Drain) and returns
+// once every worker has joined or ctx expired.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+
+// Metrics returns the current snapshot (also served at /metrics).
+func (s *Server) Metrics() Snapshot {
+	return s.metrics.snapshot(s.cfg.QueueCap, s.cfg.Workers, s.cache, s.breaker)
+}
+
+// shedError is the JSON body of every non-200 outcome.
+type shedError struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason"` // queue_full | rate_limited | breaker_open | draining | deadline | invalid | failed
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	JobID        string `json:"job_id,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeShed(w http.ResponseWriter, status int, reason, msg, jobID string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64(retryAfter / time.Second)
+		if retryAfter%time.Second != 0 {
+			secs++ // Retry-After is integral seconds; round up
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, shedError{Error: msg, Reason: reason, JobID: jobID,
+		RetryAfterMS: retryAfter.Milliseconds()})
+}
+
+// admit runs one job through the admission ladder: draining →
+// validation → breaker → fairness → bounded queue. On success the job
+// is queued and its handle returned; otherwise the outcome (status,
+// reason, retry-after) is returned for the handler to write.
+func (s *Server) admit(r *http.Request, spec *Job) (*queuedJob, int, string, string, time.Duration) {
+	if s.pool.Draining() {
+		s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
+		return nil, http.StatusServiceUnavailable, "draining", "server is draining", time.Second
+	}
+	if err := spec.Validate(); err != nil {
+		s.metrics.add(func(m *Metrics) { m.invalid++ })
+		return nil, http.StatusBadRequest, "invalid", err.Error(), 0
+	}
+	if spec.Client == "" {
+		spec.Client = r.Header.Get("X-Client-ID")
+	}
+	if ok, retry := s.breaker.Allow(spec.Class()); !ok {
+		s.metrics.add(func(m *Metrics) { m.rejectedBreaker++ })
+		return nil, http.StatusServiceUnavailable, "breaker_open",
+			fmt.Sprintf("circuit breaker open for class %s", spec.Class()), retry
+	}
+	if ok, retry := s.fairness.Allow(spec.Client); !ok {
+		s.metrics.add(func(m *Metrics) { m.shedRateLimited++ })
+		return nil, http.StatusTooManyRequests, "rate_limited",
+			fmt.Sprintf("client %q over rate", spec.Client), retry
+	}
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if d := spec.Deadline(); d > 0 {
+		// The deadline context deliberately survives the handler's
+		// return (WithoutCancel): the worker owns the job until
+		// delivery, the buffered result slot absorbs a late flush, and
+		// the worker releases the timer via settle().
+		ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), d)
+	}
+	qj := &queuedJob{spec: spec, ctx: ctx, cancel: cancel, res: make(chan result, 1)}
+	if err := s.pool.Submit(qj); err != nil {
+		if err == ErrDraining {
+			s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
+			return nil, http.StatusServiceUnavailable, "draining", "server is draining", time.Second
+		}
+		s.metrics.add(func(m *Metrics) { m.shedQueueFull++ })
+		return nil, http.StatusTooManyRequests, "queue_full", "admission queue full", s.retryAfterFull()
+	}
+	return qj, 0, "", "", 0
+}
+
+// retryAfterFull estimates when queue space will exist: one mean
+// service interval. It is a hint, not a promise — clients back off
+// and retry.
+func (s *Server) retryAfterFull() time.Duration { return 250 * time.Millisecond }
+
+// respond turns a delivered result into the HTTP answer: a report
+// (200, even for unrecovered supervised runs — the report carries
+// recovered=false and the error), or a 500 when execution produced
+// nothing at all.
+func respond(w http.ResponseWriter, res result, jobID string) {
+	if res.rep != nil {
+		writeJSON(w, http.StatusOK, res.rep)
+		return
+	}
+	msg := "execution produced no report"
+	if res.err != nil {
+		msg = res.err.Error()
+	}
+	if res.err == context.DeadlineExceeded || res.err == context.Canceled {
+		writeShed(w, http.StatusGatewayTimeout, "deadline", msg, jobID, 0)
+		return
+	}
+	writeShed(w, http.StatusInternalServerError, "failed", msg, jobID, 0)
+}
+
+// handleJobs is POST /jobs: a single job object → one report; an
+// array of jobs → an NDJSON stream of per-job envelopes in completion
+// order (each line flushed as its simulation finishes — results
+// stream while later lanes still run).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeShed(w, http.StatusMethodNotAllowed, "invalid", "POST only", "", 0)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		s.handleJobStream(w, r, trimmed)
+		return
+	}
+
+	var spec Job
+	if err := json.Unmarshal(body, &spec); err != nil {
+		s.metrics.add(func(m *Metrics) { m.invalid++ })
+		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
+		return
+	}
+	qj, status, reason, msg, retry := s.admit(r, &spec)
+	if qj == nil {
+		writeShed(w, status, reason, msg, spec.ID, retry)
+		return
+	}
+	res, ok := awaitResult(qj)
+	if !ok {
+		// Deadline fired while we waited; give a raced delivery one
+		// grace read before conceding 504.
+		if res, ok = settleDeadline(qj, time.Millisecond); !ok {
+			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", spec.ID, 0)
+			return
+		}
+	}
+	respond(w, res, spec.ID)
+}
+
+// streamItem is one NDJSON line of an array submission.
+type streamItem struct {
+	JobID        string         `json:"job_id,omitempty"`
+	Status       string         `json:"status"` // ok | failed | shed reason
+	RetryAfterMS int64          `json:"retry_after_ms,omitempty"`
+	Error        string         `json:"error,omitempty"`
+	Report       *report.Report `json:"report,omitempty"`
+}
+
+// handleJobStream admits every job of an array, emitting shed
+// envelopes immediately and result envelopes as simulations complete.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []byte) {
+	var specs []*Job
+	if err := json.Unmarshal(body, &specs); err != nil {
+		s.metrics.add(func(m *Metrics) { m.invalid++ })
+		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+
+	type pending struct {
+		qj *queuedJob
+		id string
+	}
+	var admitted []pending
+	for _, spec := range specs {
+		qj, _, reason, msg, retry := s.admit(r, spec)
+		if qj == nil {
+			enc.Encode(streamItem{JobID: spec.ID, Status: reason, Error: msg,
+				RetryAfterMS: retry.Milliseconds()})
+			flush()
+			continue
+		}
+		admitted = append(admitted, pending{qj: qj, id: spec.ID})
+	}
+
+	// Fan results into one channel so lines stream in completion
+	// order, not submission order.
+	type done struct {
+		item streamItem
+	}
+	ch := make(chan done, len(admitted))
+	for _, p := range admitted {
+		go func(p pending) {
+			res, ok := awaitResult(p.qj)
+			if !ok {
+				if res, ok = settleDeadline(p.qj, time.Millisecond); !ok {
+					ch <- done{streamItem{JobID: p.id, Status: "deadline", Error: "deadline exceeded"}}
+					return
+				}
+			}
+			item := streamItem{JobID: p.id, Status: "ok", Report: res.rep}
+			if res.rep == nil {
+				item.Status = "failed"
+				if res.err != nil {
+					item.Error = res.err.Error()
+				}
+			}
+			ch <- done{item}
+		}(p)
+	}
+	for range admitted {
+		d := <-ch
+		enc.Encode(d.item)
+		flush()
+	}
+}
+
+// handleMetrics is GET /metrics: the full Snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleHealthz reports liveness and drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	code := http.StatusOK
+	if s.pool.Draining() {
+		state = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
+}

@@ -1,0 +1,173 @@
+// Package server turns the batch engine, the machine cache and the
+// recovery supervisor into a long-running simulation service with a
+// front door that can say "no" safely. Clients POST jobs (workload,
+// network family, size, fault schedule, seed, deadline) to /jobs and
+// receive the same JSON report otsim -json prints; overload is
+// handled by explicit, layered degradation rather than collapse:
+//
+//	queue   — a bounded admission queue sheds with 429 + Retry-After
+//	fairness — per-client token buckets keep one client from
+//	           starving the pool (429 for the offender only)
+//	breaker — a per-(alg, network, N) circuit breaker turns repeated
+//	           GiveUpError/panic job classes into fast 503s that
+//	           half-open on a backoff schedule
+//	pool    — a bounded worker pool checks machines out of per-shape
+//	           mcache shards, coalesces compatible sort jobs into
+//	           core.Batch lanes, and honors per-job deadlines via
+//	           context (a timed-out job's machine is returned to the
+//	           cache, or dropped by the cache if mid-mutation)
+//	drain   — SIGTERM stops admission, finishes the queued and
+//	           in-flight jobs (supervised jobs keep their
+//	           checkpoint/rollback protection), flushes results and
+//	           joins every worker
+//
+// Simulated results are bit-identical to running the same job through
+// otsim directly — same seed, same schedule, same report — including
+// under concurrent submission and batch coalescing (the determinism
+// tests in this package pin both).
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vlsi"
+)
+
+// MaxN bounds accepted problem sizes: an (N×N)-OTN holds 2N trees of
+// N leaves and N² base processors, so admission itself must refuse
+// sizes that would let one job exhaust the host.
+const MaxN = 256
+
+// Job is one simulation request, the POST /jobs body. The zero value
+// of every optional field means its otsim default.
+type Job struct {
+	// ID is echoed back as job_id in the report (optional).
+	ID string `json:"id,omitempty"`
+	// Client names the submitter for per-client fairness; empty IDs
+	// share one anonymous bucket.
+	Client string `json:"client,omitempty"`
+
+	// Alg is the workload: "sort" (SORT-OTN) or "cc" (connected
+	// components).
+	Alg string `json:"alg"`
+	// Network is the family: "otn" (default) or "scaled".
+	Network string `json:"network,omitempty"`
+	// Model is the wire-delay model: "log" (default), "const" or
+	// "linear".
+	Model string `json:"model,omitempty"`
+	// N is the problem size (power of two, ≤ MaxN).
+	N int `json:"n"`
+	// Seed drives the workload generator, exactly as otsim -seed.
+	Seed uint64 `json:"seed"`
+
+	// Faults, when positive, injects that many random dead tree edges
+	// before the run (otsim -faults).
+	Faults int `json:"faults,omitempty"`
+	// Events, when present, runs the job under the recovery
+	// supervisor with that many mid-run dead-edge arrivals (otsim
+	// -schedule). Omitted means a plain run; 0 means supervised but
+	// fault-free. Mutually exclusive with Faults, as in otsim.
+	Events *int `json:"events,omitempty"`
+
+	// DeadlineMS bounds the job's total latency (queue wait included)
+	// in milliseconds; 0 means no deadline. Expired jobs answer 504
+	// and never hold a machine.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Supervised reports whether the job runs under the recovery
+// supervisor.
+func (j *Job) Supervised() bool { return j.Events != nil }
+
+// Deadline returns the job's latency bound, or 0.
+func (j *Job) Deadline() time.Duration {
+	return time.Duration(j.DeadlineMS) * time.Millisecond
+}
+
+// Validate rejects malformed jobs before they cost anything. The
+// rules mirror otsim's flag validation plus the service's size bound.
+func (j *Job) Validate() error {
+	switch j.Alg {
+	case "sort", "cc":
+	default:
+		return fmt.Errorf("unknown alg %q (sort | cc)", j.Alg)
+	}
+	switch j.Network {
+	case "", "otn", "scaled":
+	default:
+		return fmt.Errorf("unknown network %q (otn | scaled)", j.Network)
+	}
+	switch j.Model {
+	case "", "log", "const", "linear":
+	default:
+		return fmt.Errorf("unknown model %q (log | const | linear)", j.Model)
+	}
+	if j.N < 2 || j.N > MaxN || j.N&(j.N-1) != 0 {
+		return fmt.Errorf("n = %d must be a power of two in [2, %d]", j.N, MaxN)
+	}
+	if j.Faults < 0 {
+		return fmt.Errorf("faults = %d must be non-negative", j.Faults)
+	}
+	if j.Events != nil && *j.Events < 0 {
+		return fmt.Errorf("events = %d must be non-negative", *j.Events)
+	}
+	if j.Events != nil && j.Faults > 0 {
+		return fmt.Errorf("events (dynamic arrivals) and faults (static plan) are separate modes; pick one")
+	}
+	if j.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms = %d must be non-negative", j.DeadlineMS)
+	}
+	return nil
+}
+
+// network returns the family with the default applied.
+func (j *Job) network() string {
+	if j.Network == "" {
+		return "otn"
+	}
+	return j.Network
+}
+
+// model resolves the wire-delay model with the default applied.
+func (j *Job) model() vlsi.DelayModel {
+	switch j.Model {
+	case "const":
+		return vlsi.ConstantDelay{}
+	case "linear":
+		return vlsi.LinearDelay{}
+	default:
+		return vlsi.LogDelay{}
+	}
+}
+
+// Class is the circuit-breaker and coalescing key: jobs of one class
+// are interchangeable resource-wise — same machine shape, same
+// workload family, same supervision mode.
+func (j *Job) Class() string {
+	mode := "plain"
+	if j.Supervised() {
+		mode = "supervised"
+	} else if j.Faults > 0 {
+		mode = "faulty"
+	}
+	return fmt.Sprintf("%s/%s/%s/%d/%s", j.Alg, j.network(), j.modelName(), j.N, mode)
+}
+
+// modelName is the resolved model's report name key ("log", "const",
+// "linear") — kept distinct from the DelayModel.Name() used in
+// reports, which is the long form.
+func (j *Job) modelName() string {
+	if j.Model == "" {
+		return "log"
+	}
+	return j.Model
+}
+
+// Batchable reports whether jobs of this class may share core.Batch
+// lanes: plain (unsupervised, fault-free) sorts on native OTN tree
+// routers. Each lane's simulated times are bit-identical to a
+// dedicated run, so coalescing is invisible in the report.
+func (j *Job) Batchable() bool {
+	return j.Alg == "sort" && j.network() == "otn" && j.Faults == 0 && !j.Supervised()
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/mcache"
+	"repro/internal/tree"
+)
+
+// Metrics is the server's observability surface, exported as JSON at
+// /metrics. Everything the degradation ladder does is counted here:
+// what was admitted, what was shed and why, how full the queue is,
+// how often the breaker fired, how well the machine cache and the
+// shared route-plan cache are amortizing work, and how many jobs each
+// batch traversal carried.
+type Metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	accepted  int64
+	completed int64
+	failed    int64
+	panics    int64
+	giveUps   int64
+
+	shedQueueFull   int64
+	shedRateLimited int64
+	rejectedBreaker int64
+	rejectedDrain   int64
+	invalid         int64
+
+	deadlineBeforeStart int64 // expired while queued; never held a machine
+	deadlineMidRun      int64 // expired while running; result flushed late
+
+	queueDepth int64
+	inflight   int64
+
+	laneGroups int64 // batch groups executed
+	laneJobs   int64 // jobs carried by those groups
+	laneMax    int64 // widest group seen
+}
+
+// NewMetrics starts the clock.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+func (m *Metrics) add(f func(*Metrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+}
+
+// Snapshot is the /metrics JSON document.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Accepted   int64   `json:"accepted"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Panics     int64   `json:"panics"`
+	GiveUps    int64   `json:"give_ups"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+
+	ShedQueueFull   int64 `json:"shed_queue_full"`
+	ShedRateLimited int64 `json:"shed_rate_limited"`
+	RejectedBreaker int64 `json:"rejected_breaker"`
+	RejectedDrain   int64 `json:"rejected_draining"`
+	Invalid         int64 `json:"invalid"`
+
+	DeadlineBeforeStart int64 `json:"deadline_before_start"`
+	DeadlineMidRun      int64 `json:"deadline_mid_run"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	QueueCap   int   `json:"queue_cap"`
+	Inflight   int64 `json:"inflight"`
+	Workers    int   `json:"workers"`
+
+	BreakerOpenClasses int   `json:"breaker_open_classes"`
+	BreakerTrips       int64 `json:"breaker_trips"`
+
+	LaneGroups   int64   `json:"lane_groups"`
+	LaneJobs     int64   `json:"lane_jobs"`
+	LaneMax      int64   `json:"lane_max"`
+	LaneAvgOccup float64 `json:"lane_avg_occupancy"`
+
+	MCache struct {
+		Hits    int     `json:"hits"`
+		Misses  int     `json:"misses"`
+		Waits   int     `json:"waits"`
+		Returns int     `json:"returns"`
+		Drops   int     `json:"drops"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"mcache"`
+
+	PlanCache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		Size    int     `json:"size"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"plan_cache"`
+}
+
+// snapshot assembles the document from the live counters plus the
+// cache and breaker state.
+func (m *Metrics) snapshot(queueCap, workers int, cache *mcache.Cache, br *Breaker) Snapshot {
+	m.mu.Lock()
+	s := Snapshot{
+		UptimeSec: time.Since(m.start).Seconds(),
+		Accepted:  m.accepted, Completed: m.completed, Failed: m.failed,
+		Panics: m.panics, GiveUps: m.giveUps,
+		ShedQueueFull: m.shedQueueFull, ShedRateLimited: m.shedRateLimited,
+		RejectedBreaker: m.rejectedBreaker, RejectedDrain: m.rejectedDrain,
+		Invalid:             m.invalid,
+		DeadlineBeforeStart: m.deadlineBeforeStart, DeadlineMidRun: m.deadlineMidRun,
+		QueueDepth: m.queueDepth, QueueCap: queueCap,
+		Inflight: m.inflight, Workers: workers,
+		LaneGroups: m.laneGroups, LaneJobs: m.laneJobs, LaneMax: m.laneMax,
+	}
+	m.mu.Unlock()
+	if s.UptimeSec > 0 {
+		s.Throughput = float64(s.Completed) / s.UptimeSec
+	}
+	if s.LaneGroups > 0 {
+		s.LaneAvgOccup = float64(s.LaneJobs) / float64(s.LaneGroups)
+	}
+	cs := cache.Stats()
+	s.MCache.Hits, s.MCache.Misses, s.MCache.Waits = cs.Hits, cs.Misses, cs.Waits
+	s.MCache.Returns, s.MCache.Drops = cs.Returns, cs.Drops
+	if cs.Hits+cs.Misses > 0 {
+		s.MCache.HitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+	}
+	pc := tree.SharedPlanCache()
+	ps := pc.Stats()
+	s.PlanCache.Hits, s.PlanCache.Misses, s.PlanCache.Size = ps.Hits, ps.Misses, pc.Size()
+	if ps.Hits+ps.Misses > 0 {
+		s.PlanCache.HitRate = float64(ps.Hits) / float64(ps.Hits+ps.Misses)
+	}
+	s.BreakerOpenClasses, s.BreakerTrips = br.OpenClasses()
+	return s
+}

@@ -127,8 +127,18 @@ type planKey struct{ shape, fault, first uint64 }
 // PlanCache is a mutex-guarded store of frozen plans, shareable
 // across trees, batches, machines and goroutines.
 type PlanCache struct {
-	mu sync.Mutex
-	m  map[planKey]*RoutePlan
+	mu   sync.Mutex
+	m    map[planKey]*RoutePlan
+	hits, misses int64
+}
+
+// PlanCacheStats counts adoption traffic: a hit is a lookup that
+// found a frozen plan to adopt (whether or not verify-on-use later
+// diverged), a miss is a lookup that found nothing and left the tree
+// recording its own plan.
+type PlanCacheStats struct {
+	Hits   int64
+	Misses int64
 }
 
 // planCacheCap bounds the cache; on overflow an arbitrary entry is
@@ -144,7 +154,13 @@ var defaultPlanCache = NewPlanCache()
 func (c *PlanCache) get(k planKey) *RoutePlan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m[k]
+	p := c.m[k]
+	if p != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p
 }
 
 func (c *PlanCache) put(k planKey, p *RoutePlan) {
@@ -167,6 +183,17 @@ func (c *PlanCache) Size() int {
 	defer c.mu.Unlock()
 	return len(c.m)
 }
+
+// Stats returns a snapshot of the adoption counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// SharedPlanCache returns the process-wide cache every tree starts
+// on — the one otserve's /metrics reports hit rates for.
+func SharedPlanCache() *PlanCache { return defaultPlanCache }
 
 // mix64 is the splitmix64 finalizer (cheap bijective hash).
 func mix64(x uint64) uint64 {
