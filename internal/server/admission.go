@@ -18,9 +18,11 @@ type Fairness struct {
 	buckets map[string]*bucket
 }
 
-// maxClients bounds the bucket map; beyond it the map is reset (a
-// refilled-from-full bucket is the common state, so forgetting idle
-// clients only forgives them a burst).
+// maxClients bounds the bucket map; at the bound only buckets idle
+// long enough to have refilled to full are evicted — forgetting those
+// forgives nothing, while draining (actively limited) buckets survive,
+// so a client churning fabricated IDs can neither erase other clients'
+// state nor refresh its own burst.
 const maxClients = 16384
 
 type bucket struct {
@@ -53,7 +55,16 @@ func (f *Fairness) Allow(client string) (bool, time.Duration) {
 	b := f.buckets[client]
 	if b == nil {
 		if len(f.buckets) >= maxClients {
-			f.buckets = make(map[string]*bucket)
+			for id, old := range f.buckets {
+				if old.tokens+now.Sub(old.last).Seconds()*f.rate >= f.burst {
+					delete(f.buckets, id)
+				}
+			}
+			if len(f.buckets) >= maxClients {
+				// Every tracked client is mid-drain; refuse to mint
+				// fresh bursts for new IDs until someone goes idle.
+				return false, time.Second
+			}
 		}
 		b = &bucket{tokens: f.burst, last: now}
 		f.buckets[client] = b

@@ -62,33 +62,51 @@ func NewBreaker(threshold int, base, max time.Duration, now func() time.Time) *B
 // Allow asks whether a job of class may be admitted. An open class
 // reports false and the remaining open time (the 503's Retry-After);
 // a class whose backoff has elapsed half-opens and admits exactly one
-// probe.
-func (b *Breaker) Allow(class string) (bool, time.Duration) {
+// probe, reported via probe so the caller can Release it should the
+// job never reach Record.
+func (b *Breaker) Allow(class string) (ok, probe bool, retry time.Duration) {
 	if b == nil || b.threshold <= 0 {
-		return true, 0
+		return true, false, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c := b.classes[class]
 	if c == nil {
-		return true, 0
+		return true, false, 0
 	}
 	switch c.state {
 	case stClosed:
-		return true, 0
+		return true, false, 0
 	case stOpen:
 		if rem := c.until.Sub(b.now()); rem > 0 {
-			return false, rem
+			return false, false, rem
 		}
 		c.state = stHalfOpen
 		c.probing = true
-		return true, 0
+		return true, true, 0
 	default: // half-open
 		if c.probing {
-			return false, b.base
+			return false, false, b.base
 		}
 		c.probing = true
-		return true, 0
+		return true, true, 0
+	}
+}
+
+// Release returns an admitted probe that will never reach Record —
+// shed by fairness, dropped on a full or draining queue, expired while
+// waiting, or cancelled mid-run. The probe said nothing about the
+// class, so the half-open slot reopens and the next job probes
+// instead; without this a leaked probe would hold the class at 503
+// until restart.
+func (b *Breaker) Release(class string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.classes[class]; c != nil && c.state == stHalfOpen {
+		c.probing = false
 	}
 }
 

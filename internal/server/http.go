@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -156,12 +157,16 @@ func (s *Server) admit(r *http.Request, spec *Job) (*queuedJob, int, string, str
 	if spec.Client == "" {
 		spec.Client = r.Header.Get("X-Client-ID")
 	}
-	if ok, retry := s.breaker.Allow(spec.Class()); !ok {
+	allowed, probe, retry := s.breaker.Allow(spec.Class())
+	if !allowed {
 		s.metrics.add(func(m *Metrics) { m.rejectedBreaker++ })
 		return nil, http.StatusServiceUnavailable, "breaker_open",
 			fmt.Sprintf("circuit breaker open for class %s", spec.Class()), retry
 	}
 	if ok, retry := s.fairness.Allow(spec.Client); !ok {
+		if probe {
+			s.breaker.Release(spec.Class())
+		}
 		s.metrics.add(func(m *Metrics) { m.shedRateLimited++ })
 		return nil, http.StatusTooManyRequests, "rate_limited",
 			fmt.Sprintf("client %q over rate", spec.Client), retry
@@ -175,9 +180,15 @@ func (s *Server) admit(r *http.Request, spec *Job) (*queuedJob, int, string, str
 		// the worker releases the timer via settle().
 		ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), d)
 	}
-	qj := &queuedJob{spec: spec, ctx: ctx, cancel: cancel, res: make(chan result, 1)}
+	qj := &queuedJob{spec: spec, probe: probe, ctx: ctx, cancel: cancel, res: make(chan result, 1)}
 	if err := s.pool.Submit(qj); err != nil {
-		if err == ErrDraining {
+		if probe {
+			s.breaker.Release(spec.Class())
+		}
+		if cancel != nil {
+			cancel()
+		}
+		if errors.Is(err, ErrDraining) {
 			s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
 			return nil, http.StatusServiceUnavailable, "draining", "server is draining", time.Second
 		}
@@ -205,7 +216,7 @@ func respond(w http.ResponseWriter, res result, jobID string) {
 	if res.err != nil {
 		msg = res.err.Error()
 	}
-	if res.err == context.DeadlineExceeded || res.err == context.Canceled {
+	if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 		writeShed(w, http.StatusGatewayTimeout, "deadline", msg, jobID, 0)
 		return
 	}
@@ -289,6 +300,12 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []
 	}
 	var admitted []pending
 	for _, spec := range specs {
+		if spec == nil {
+			s.metrics.add(func(m *Metrics) { m.invalid++ })
+			enc.Encode(streamItem{Status: "invalid", Error: "null job"})
+			flush()
+			continue
+		}
 		qj, _, reason, msg, retry := s.admit(r, spec)
 		if qj == nil {
 			enc.Encode(streamItem{JobID: spec.ID, Status: reason, Error: msg,

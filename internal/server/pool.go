@@ -33,6 +33,7 @@ type result struct {
 // result is flushed into the slot and garbage-collected with it).
 type queuedJob struct {
 	spec   *Job
+	probe  bool // admitted as a half-open breaker probe (must Record or Release)
 	ctx    context.Context
 	cancel context.CancelFunc // releases the deadline timer; nil when no deadline
 	res    chan result
@@ -196,6 +197,9 @@ func (p *Pool) expired(qj *queuedJob) bool {
 	if qj.ctx.Err() == nil {
 		return false
 	}
+	if qj.probe {
+		p.breaker.Release(qj.spec.Class())
+	}
 	p.metrics.add(func(m *Metrics) { m.deadlineBeforeStart++ })
 	qj.res <- result{err: qj.ctx.Err()}
 	qj.settle()
@@ -232,6 +236,15 @@ func (p *Pool) runGroup(group []*queuedJob) {
 	}()
 	if Counts(err) || err == nil {
 		p.breaker.Record(specs[0].Class(), err)
+	} else {
+		// Context cancellation (drain, dead deadline) says nothing
+		// about the class: skip Record but return any probe in the
+		// group so the class can probe again instead of wedging.
+		for _, qj := range group {
+			if qj.probe {
+				p.breaker.Release(qj.spec.Class())
+			}
+		}
 	}
 	p.metrics.add(func(m *Metrics) {
 		m.inflight -= int64(len(group))

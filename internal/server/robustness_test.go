@@ -148,15 +148,15 @@ func TestBreakerStateMachine(t *testing.T) {
 	boom := errors.New("boom")
 	const class = "sort/otn/log/16/plain"
 
-	if ok, _ := b.Allow(class); !ok {
-		t.Fatal("fresh class not allowed")
+	if ok, probe, _ := b.Allow(class); !ok || probe {
+		t.Fatal("fresh class not allowed plainly")
 	}
 	b.Record(class, boom)
-	if ok, _ := b.Allow(class); !ok {
+	if ok, _, _ := b.Allow(class); !ok {
 		t.Fatal("one failure must not trip a threshold-2 breaker")
 	}
 	b.Record(class, boom)
-	ok, retry := b.Allow(class)
+	ok, _, retry := b.Allow(class)
 	if ok || retry <= 0 {
 		t.Fatalf("after threshold: allowed=%v retry=%s", ok, retry)
 	}
@@ -165,27 +165,55 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 
 	now = now.Add(1100 * time.Millisecond) // backoff base elapsed → half-open
-	if ok, _ := b.Allow(class); !ok {
+	if ok, probe, _ := b.Allow(class); !ok || !probe {
 		t.Fatal("half-open must admit one probe")
 	}
-	if ok, _ := b.Allow(class); ok {
+	if ok, _, _ := b.Allow(class); ok {
 		t.Fatal("half-open must admit only one probe")
 	}
 	b.Record(class, boom) // probe fails → re-open with doubled backoff
-	if ok, retry := b.Allow(class); ok || retry <= time.Second {
+	if ok, _, retry := b.Allow(class); ok || retry <= time.Second {
 		t.Fatalf("re-opened: allowed=%v retry=%s, want closed ≥ 2s", ok, retry)
 	}
 
 	now = now.Add(2100 * time.Millisecond)
-	if ok, _ := b.Allow(class); !ok {
+	if ok, probe, _ := b.Allow(class); !ok || !probe {
 		t.Fatal("second half-open probe refused")
 	}
 	b.Record(class, nil) // probe succeeds → closed
-	if ok, _ := b.Allow(class); !ok {
+	if ok, _, _ := b.Allow(class); !ok {
 		t.Fatal("closed breaker refused a job")
 	}
 	if open, trips := b.OpenClasses(); open != 0 || trips != 2 {
 		t.Fatalf("open=%d trips=%d, want 0/2", open, trips)
+	}
+}
+
+// TestBreakerProbeRelease pins the probe-leak fix: a half-open probe
+// that never reaches Record (shed by fairness, dropped on a full
+// queue, expired in the queue, or cancelled mid-run) must be Released,
+// reopening the probe slot — otherwise the class answers 503 forever.
+func TestBreakerProbeRelease(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(1, time.Second, 8*time.Second, clock)
+	const class = "sort/otn/log/16/plain"
+
+	b.Record(class, errors.New("boom")) // threshold 1 → open
+	now = now.Add(1100 * time.Millisecond)
+	if ok, probe, _ := b.Allow(class); !ok || !probe {
+		t.Fatal("backoff elapsed: probe not admitted")
+	}
+	if ok, _, _ := b.Allow(class); ok {
+		t.Fatal("second job admitted while probe in flight")
+	}
+	b.Release(class) // the probe was shed downstream, never ran
+	if ok, probe, _ := b.Allow(class); !ok || !probe {
+		t.Fatal("released probe slot did not readmit a probe; class is wedged")
+	}
+	b.Record(class, nil)
+	if ok, _, _ := b.Allow(class); !ok {
+		t.Fatal("probe success did not close the class")
 	}
 }
 
@@ -227,6 +255,98 @@ func TestBreakerTripsEndToEnd(t *testing.T) {
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestBreakerProbeSurvivesFairnessShed pins the admission-order leak
+// end-to-end: the breaker admits the half-open probe before fairness
+// runs, so a probe shed with 429 must release the probe slot — the
+// next job of the class (from a client with tokens) still probes
+// instead of the class answering 503 until restart.
+func TestBreakerProbeSurvivesFairnessShed(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	s := New(Config{Workers: 1, QueueCap: 8, Rate: 1, Burst: 1,
+		BreakerThreshold: 1, Now: clock})
+	real := s.pool.exec
+	s.pool.exec = func(ctx context.Context, jobs []*Job) ([]*report.Report, error) {
+		if jobs[0].Alg == "cc" {
+			return nil, errors.New("synthetic class failure")
+		}
+		return real(ctx, jobs)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	bad := func(seed uint64, client string) *Job {
+		return &Job{Alg: "cc", N: 8, Seed: seed, Client: client}
+	}
+	if st, _, _ := rawPost(t, ts, bad(1, "a")); st != http.StatusInternalServerError {
+		t.Fatalf("failing job: %d, want 500 (and a tripped breaker)", st)
+	}
+	advance(1100 * time.Millisecond) // breaker backoff elapsed, a's bucket refilled
+	if st, _, _ := rawPost(t, ts, &Job{Alg: "sort", N: 8, Seed: 2, Client: "a"}); st != http.StatusOK {
+		t.Fatalf("good job spending a's token: %d", st)
+	}
+	// a's bucket is now empty: the breaker admits the half-open probe,
+	// then fairness sheds it.
+	st, shed, _ := rawPost(t, ts, bad(3, "a"))
+	if st != http.StatusTooManyRequests || shed.Reason != "rate_limited" {
+		t.Fatalf("probe shed: %d %+v, want 429 rate_limited", st, shed)
+	}
+	// Client b has tokens; its job must be admitted as the new probe
+	// (it runs and fails with 500), not rejected breaker_open.
+	if st, shed, _ := rawPost(t, ts, bad(4, "b")); st != http.StatusInternalServerError {
+		t.Fatalf("post-shed probe: %d %+v, want 500 (probe ran)", st, shed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestStreamNullJob pins that a JSON array containing null entries
+// answers per-line invalid envelopes instead of panicking the handler.
+func TestStreamNullJob(t *testing.T) {
+	ts := testServer(t, Config{Workers: 1, Rate: -1, BreakerThreshold: -1})
+	body := []byte(`[null, {"alg":"sort","n":8,"seed":1,"id":"ok1"}, null]`)
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var invalid, ok int
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var item struct {
+			JobID  string `json:"job_id"`
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		switch item.Status {
+		case "invalid":
+			invalid++
+		case "ok":
+			ok++
+			if item.JobID != "ok1" {
+				t.Errorf("ok line job_id %q", item.JobID)
+			}
+		default:
+			t.Errorf("unexpected line: %+v", item)
+		}
+	}
+	if invalid != 2 || ok != 1 {
+		t.Fatalf("invalid=%d ok=%d, want 2/1", invalid, ok)
 	}
 }
 
