@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes servesmoke servesweep ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked servesmoke servesweep ci
 
 build:
 	$(GO) build ./...
@@ -21,16 +21,19 @@ vet:
 # fuzz, stale-plan recovery) under the detector by name, so a test
 # rename can't silently drop them.
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/... ./internal/server/...
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/... ./internal/server/... ./internal/bits/... ./internal/packed/...
 	$(GO) test -race -run 'Deterministic|Parallel|Batch|Recovery' ./internal/analysis/... ./internal/algorithms/sorting/...
 	$(GO) test -race -run 'Plan|StalePlans' ./internal/tree/... ./internal/mcache/... ./internal/resilience/...
+	$(GO) test -race -run 'Packed|Fused|Bulk' ./internal/packed/... ./internal/tree/... ./internal/analysis/... ./internal/server/...
 
 # Short fuzz passes over the fault-layer determinism properties:
-# static plans, and fault-arrival schedules through the recovery
-# supervisor.
+# static plans, fault-arrival schedules through the recovery
+# supervisor, and the packed-vs-scalar differential (op streams ×
+# fault plans must produce identical bit-times, results and health).
 fuzz:
 	$(GO) test -fuzz FuzzPlanDeterminism -fuzztime 10s ./internal/fault
 	$(GO) test -fuzz FuzzScheduleDeterminism -fuzztime 10s ./internal/fault
+	$(GO) test -fuzz FuzzPackedDifferential -fuzztime 15s ./internal/packed
 
 # Regenerate the committed benchmark baseline (host numbers are
 # environmental; the simulated metrics inside must never change).
@@ -65,6 +68,15 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'SortBatch16' -benchtime 2x .
 	$(GO) test -run '^$$' -bench 'Table1SortOTN' -benchtime 2x .
 	$(GO) run ./cmd/otsim -alg sort -n 16 -schedule 2 -json > /dev/null
+	$(GO) run ./cmd/otbench -packed -sizes 16,1024 > /dev/null
+
+# Packed-engine scaling table: connected components on the bit-packed
+# Boolean engine and the mesh baseline, N=16 → 1024 — the extended
+# Table III A·T² curves from EXPERIMENTS.md. Budget: the whole sweep
+# (engine builds included) completes in well under a minute on a
+# laptop; the N=1024 components cell itself simulates in ~2 ms.
+benchpacked:
+	$(GO) run ./cmd/otbench -packed
 
 # End-to-end service smoke: build otserve under the race detector,
 # drive it past capacity with otload (flooding client included), then
@@ -79,4 +91,7 @@ servesmoke:
 servesweep:
 	$(GO) run ./cmd/otbench -servesweep
 
-ci: build vet test race benchsmoke servesmoke
+# The full gate. benchpacked adds ~1s: the packed N=1024 components
+# cell simulates in ~2ms and the whole extended Table III sweep,
+# engine builds included, is sub-second.
+ci: build vet test race benchsmoke benchpacked servesmoke

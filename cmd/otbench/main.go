@@ -11,8 +11,9 @@
 // produce (bit-times, λ² area), and writes them to a machine-readable
 // file. -compare checks a fresh run against a committed baseline:
 // simulated quantities must match EXACTLY (they are outputs of the
-// paper's model, not of the host), allocs/op may not regress beyond a
-// small tolerance, and ns/op is reported but never gates (it depends
+// paper's model, not of the host), allocs/op and bytes/op may not
+// regress beyond a small tolerance, whole-run peak RSS may not more
+// than double, and ns/op is reported but never gates (it depends
 // on the host).
 //
 // Usage:
@@ -27,6 +28,7 @@
 //	otbench -json new.json -compare BENCH.json
 //	otbench -throughput       # batched benchmarks only: instances/sec table
 //	otbench -routes           # compiled vs interpreted routing table
+//	otbench -packed           # packed-engine scaling: Table III out to N=1024
 //	otbench -compare BENCH.json -hosttol 30   # also gate ns/op regressions >30%
 //	otbench -cpuprofile cpu.pprof -json /dev/null
 package main
@@ -46,6 +48,7 @@ import (
 
 	orthotrees "repro"
 	"repro/internal/core"
+	"repro/internal/packed"
 )
 
 func main() {
@@ -62,6 +65,7 @@ func main() {
 	compare := flag.String("compare", "", "run the benchmark suite and diff against this baseline file")
 	throughput := flag.Bool("throughput", false, "run only the batched benchmarks and print an instances/sec table")
 	routes := flag.Bool("routes", false, "run the route-bound benchmarks compiled and interpreted and print the comparison table")
+	packedSweep := flag.Bool("packed", false, "run the packed-engine scaling study (Table III extended to N=1024) and print the table")
 	servesweep := flag.Bool("servesweep", false, "drive an in-process otserve at three offered-load levels and print the degradation table")
 	hosttol := flag.Float64("hosttol", 0, "percentage tolerance on ns/op regressions in -compare; 0 keeps host times info-only")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -83,6 +87,8 @@ func main() {
 	ok := true
 	if *servesweep {
 		ok = servesweepMode()
+	} else if *packedSweep {
+		packedMode(*sizes, *format)
 	} else if *routes {
 		ok = routesMode()
 	} else if *throughput {
@@ -187,6 +193,26 @@ func runTables(table int, sizes string, mst, figs, pipeline, mot3d, faultsweep, 
 	}
 }
 
+// packedMode is -packed: the extended Table III sweep on the
+// bit-packed Boolean engine, at sizes the scalar machine cannot
+// reach. The full default sweep — engine builds included — finishes
+// in seconds; see `make benchpacked`.
+func packedMode(sizes, format string) {
+	ns := []int{16, 32, 64, 128, 256, 512, 1024}
+	if sizes != "" {
+		ns = parseSizes(sizes)
+	}
+	e, err := orthotrees.PackedStudy(ns)
+	if err != nil {
+		fatalf("packed study: %v", err)
+	}
+	if format == "markdown" {
+		fmt.Println(e.Markdown())
+	} else {
+		fmt.Println(e.Render())
+	}
+}
+
 func parseSizes(s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -224,10 +250,16 @@ type BenchResult struct {
 
 // BenchFile is the on-disk schema of BENCH.json.
 type BenchFile struct {
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	MaxProcs   int           `json:"maxprocs"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	MaxProcs  int    `json:"maxprocs"`
+	// PeakRSSKB is the process high-water resident set (VmHWM) after
+	// the whole suite ran, in KiB; 0 where procfs is unavailable.
+	// -compare fails when it more than doubles over the baseline —
+	// the coarse backstop that catches a machine or engine cache
+	// leak that per-op allocation accounting cannot see.
+	PeakRSSKB  int64         `json:"peak_rss_kb,omitempty"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
 
@@ -360,6 +392,35 @@ var suite = []struct {
 		}
 		sim["leaftoleaf/bit-times"] = float64(done)
 	}},
+	{"PackedComponents/n=256", packedComponentsBench(256)},
+	{"PackedComponents/n=1024", packedComponentsBench(1024)},
+	{"PackedClosure/n=256", packedClosureBench(256)},
+	{"PackedClosure/n=1024", packedClosureBench(1024)},
+	{"ScalarComponents/n=256", func(b *testing.B, sim simMap) {
+		// The scalar counterpart of PackedComponents/n=256: the same
+		// graph through the full machine program. Its simulated
+		// metrics must equal the packed entry's exactly (the tentpole
+		// contract); its ns/op is the denominator of the speedup
+		// headline runSuite prints.
+		m, err := orthotrees.NewOTN(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetRouteCompile(compileRoutes)
+		g := benchGraph(256)
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			orthotrees.LoadGraph(m, g)
+			_, done = orthotrees.ConnectedComponents(m)
+		}
+		if err := m.Err(); err != nil {
+			b.Fatal(err)
+		}
+		sim["components/bit-times"] = float64(done)
+		sim["components/area"] = float64(m.Area())
+	}},
 	{"ParDoSweep/K=64", func(b *testing.B, sim simMap) {
 		m, err := orthotrees.NewOTN(64)
 		if err != nil {
@@ -380,6 +441,51 @@ var suite = []struct {
 		}
 		sim["pardo/bit-times"] = float64(done)
 	}},
+}
+
+// benchGraph is the deterministic sparse instance shared by the
+// packed and scalar component entries at a given size, so their
+// simulated bit-times are directly comparable (and must be equal).
+func benchGraph(n int) *orthotrees.Graph {
+	return orthotrees.NewRNG(uint64(7 + n)).Gnp(n, 2.0/float64(n))
+}
+
+// packedComponentsBench measures the machine-free bit-packed engine
+// on CONNECTED-COMPONENTS. Packing the graph is part of the op: that
+// is what a caller holding an adjacency structure pays.
+func packedComponentsBench(n int) func(b *testing.B, sim simMap) {
+	return func(b *testing.B, sim simMap) {
+		e, err := packed.EngineFor(n, orthotrees.DefaultConfig(n*n), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := benchGraph(n)
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, done = e.Components(g, 0)
+		}
+		sim["components/bit-times"] = float64(done)
+		sim["components/area"] = float64(e.Area())
+	}
+}
+
+// packedClosureBench measures the packed engine on CLOSURE-OTN.
+func packedClosureBench(n int) func(b *testing.B, sim simMap) {
+	return func(b *testing.B, sim simMap) {
+		e, err := packed.EngineFor(n, orthotrees.DefaultConfig(n*n), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := benchGraph(n)
+		var done orthotrees.Time
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, done = e.Closure(g, 0)
+		}
+		sim["closure/bit-times"] = float64(done)
+		sim["closure/area"] = float64(e.Area())
+	}
 }
 
 // batchDef is one batched suite entry: its single-instance host cost
@@ -516,7 +622,44 @@ func runSuite() BenchFile {
 	for _, def := range batchSuite {
 		f.Benchmarks = append(f.Benchmarks, measure(def.name, def.lanes, def.run))
 	}
+	f.PeakRSSKB = peakRSSKB()
+	byName := map[string]BenchResult{}
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	// The packed engine's headline number: host-time speedup over the
+	// scalar machine program on the same N=256 instance (identical
+	// simulated bit-times, enforced by -compare against the baseline).
+	if sc, pk := byName["ScalarComponents/n=256"], byName["PackedComponents/n=256"]; sc.NsPerOp > 0 && pk.NsPerOp > 0 {
+		fmt.Fprintf(os.Stderr, "otbench: packed vs scalar components at N=256: %.1fx host speedup\n",
+			float64(sc.NsPerOp)/float64(pk.NsPerOp))
+	}
+	if f.PeakRSSKB > 0 {
+		fmt.Fprintf(os.Stderr, "otbench: peak RSS %d KiB\n", f.PeakRSSKB)
+	}
 	return f
+}
+
+// peakRSSKB reads the process's high-water resident set from
+// /proc/self/status (VmHWM, in KiB). Returns 0 on hosts without
+// procfs; the -compare RSS gate is skipped when either side is 0.
+func peakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseInt(fields[0], 10, 64)
+				if err == nil {
+					return kb
+				}
+			}
+		}
+	}
+	return 0
 }
 
 // throughputMode runs only the batched benchmarks and prints the
@@ -626,6 +769,20 @@ const (
 	allocSlackAbs   = 16
 )
 
+// bytesSlack mirrors allocSlack for bytes/op: heap growth per op is a
+// memory regression even when the allocation count holds steady (a
+// bank or slab doubling in width). The absolute floor absorbs the
+// jitter of tiny entries.
+const (
+	bytesSlackRatio = 1.25
+	bytesSlackAbs   = 4096
+)
+
+// rssSlackFactor is the -compare tolerance on whole-run peak RSS.
+// RSS is process-monotone and shaped by GC pacing, so the gate is
+// deliberately coarse: only a doubling fails.
+const rssSlackFactor = 2
+
 func benchMode(jsonOut, compare string) bool {
 	cur := runSuite()
 	if jsonOut != "" {
@@ -654,7 +811,9 @@ func benchMode(jsonOut, compare string) bool {
 }
 
 // diff reports cur against base. Simulated metrics must match
-// exactly; allocs/op may not regress beyond the slack; ns/op is
+// exactly; allocs/op and bytes/op may not regress beyond their slack,
+// and whole-run peak RSS may not exceed rssSlackFactor times the
+// baseline's; ns/op is
 // printed as a ratio but never fails the comparison. The suites must
 // also agree as sets: a benchmark present on either side only is a
 // FAIL, so the committed baseline always covers the whole suite.
@@ -696,6 +855,12 @@ func diff(base, cur BenchFile) bool {
 				old.Name, now.AllocsPerOp, old.AllocsPerOp, limit)
 			ok = false
 		}
+		blimit := int64(float64(old.BytesPerOp)*bytesSlackRatio) + bytesSlackAbs
+		if now.BytesPerOp > blimit {
+			fmt.Fprintf(os.Stderr, "FAIL %s: bytes/op %d exceeds baseline %d (limit %d)\n",
+				old.Name, now.BytesPerOp, old.BytesPerOp, blimit)
+			ok = false
+		}
 		// Host metrics, reported as relative deltas per metric. ns/op
 		// gates only when -hosttol sets a tolerance; allocs and bytes
 		// always print so a drift is visible before it trips the slack.
@@ -725,6 +890,16 @@ func diff(base, cur BenchFile) bool {
 	for _, name := range extra {
 		fmt.Fprintf(os.Stderr, "FAIL %s: benchmark missing from baseline (regenerate with -json)\n", name)
 		ok = false
+	}
+	if base.PeakRSSKB > 0 && cur.PeakRSSKB > 0 {
+		if cur.PeakRSSKB > rssSlackFactor*base.PeakRSSKB {
+			fmt.Fprintf(os.Stderr, "FAIL peak RSS %d KiB is more than %dx baseline %d KiB\n",
+				cur.PeakRSSKB, rssSlackFactor, base.PeakRSSKB)
+			ok = false
+		} else {
+			fmt.Fprintf(os.Stderr, "ok   peak RSS %d KiB vs baseline %d KiB (limit %dx)\n",
+				cur.PeakRSSKB, base.PeakRSSKB, rssSlackFactor)
+		}
 	}
 	if ok {
 		fmt.Fprintln(os.Stderr, "otbench: comparison PASSED")

@@ -13,7 +13,14 @@
 //	otserve -leakcheck                    # verify zero leaked goroutines at exit
 //
 //	curl -s localhost:8080/jobs -d '{"alg":"sort","n":16,"seed":1}'
+//	curl -s localhost:8080/jobs -d '{"alg":"cc","n":1024,"seed":1,"packed":true}'
 //	curl -s localhost:8080/metrics
+//
+// Healthy Boolean jobs may set "packed": true to run on the machine-
+// free bit-packed engine: the report is byte-identical to the scalar
+// path's, no machine is checked out, and the size bound rises to
+// n=1024 (scalar jobs stop at 256). /metrics reports packed_jobs and
+// packed_lane_occupancy.
 package main
 
 import (

@@ -1,0 +1,63 @@
+package analysis
+
+import "testing"
+
+// TestPackedScalingStudy runs the study over sizes that include the
+// scalar cross-check range (exact time/label equality against the
+// machine program is asserted inside the cells at N ≤ 64) and one
+// packed-only size, and checks the Table III ordering: the OTN's
+// A·T² stays below the mesh's at every N and the gap grows.
+func TestPackedScalingStudy(t *testing.T) {
+	ns := []int{16, 32, 64, 128}
+	e, err := PackedScalingStudy(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Rows) != 3*len(ns) {
+		t.Fatalf("got %d rows, want %d", len(e.Rows), 3*len(ns))
+	}
+	at2 := map[string]map[int]float64{}
+	for _, r := range e.Rows {
+		if r.Time <= 0 {
+			t.Fatalf("%s N=%d: non-positive time %d", r.Network, r.N, r.Time)
+		}
+		if at2[r.Network] == nil {
+			at2[r.Network] = map[int]float64{}
+		}
+		at2[r.Network][r.N] = r.AT2()
+	}
+	var prevRatio float64
+	for _, n := range ns {
+		ratio := at2["mesh"][n] / at2["otn-packed"][n]
+		if ratio <= 1 {
+			t.Fatalf("N=%d: mesh A·T² (%.3e) does not exceed packed OTN (%.3e)", n, at2["mesh"][n], at2["otn-packed"][n])
+		}
+		if ratio <= prevRatio {
+			t.Fatalf("N=%d: mesh/OTN A·T² ratio %.2f stopped growing (prev %.2f)", n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+		if at2["otn-scaled-packed"][n] >= at2["otn-packed"][n] {
+			t.Fatalf("N=%d: Thompson-scaled A·T² not below unscaled", n)
+		}
+	}
+}
+
+// TestPackedScalingDeterministic pins that two runs produce identical
+// rows — the packed cells draw their graphs from the same seeded RNG
+// stream as Table III and share cached engines.
+func TestPackedScalingDeterministic(t *testing.T) {
+	a, err := PackedScalingStudy([]int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PackedScalingStudy([]int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Network != rb.Network || ra.N != rb.N || ra.Area != rb.Area || ra.Time != rb.Time {
+			t.Fatalf("row %d diverged across runs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}

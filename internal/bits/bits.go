@@ -1,0 +1,205 @@
+// Package bits holds the word-packed Boolean row representation
+// shared by the packed execution engine, the core machine's bit
+// banks, and the mesh baseline's Cannon product: a matrix of 0/1
+// values stored 64 columns per uint64 word, so one word operation
+// (OR-accumulate, popcount, set-bit scan) processes 64 base
+// processors at once.
+//
+// The package is pure data movement — no timing lives here. Every
+// simulated bit-time is charged by the caller (the tree routers, the
+// mesh's closed-form systolic schedule, or the packed engine's fused
+// duration tables); bits only guarantees that the packed values are
+// exactly the Boolean image of the scalar []int64 registers they
+// shadow.
+package bits
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// WordBits is the packing width: columns per uint64 word.
+const WordBits = 64
+
+// Words returns the number of uint64 words needed for n columns.
+func Words(n int) int { return (n + WordBits - 1) / WordBits }
+
+// Matrix is an n×n Boolean matrix packed row-major, Words(n) words
+// per row. The trailing bits of the last word of each row (columns
+// ≥ n) are always zero — every mutator maintains this, so whole-row
+// word comparisons and popcounts need no masking.
+type Matrix struct {
+	// N is the matrix side (rows and columns).
+	N int
+	// W is Words(N), the stride in words between consecutive rows.
+	W int
+
+	bits []uint64
+}
+
+// NewMatrix returns an all-zero n×n packed matrix.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("bits: non-positive matrix side %d", n))
+	}
+	w := Words(n)
+	return &Matrix{N: n, W: w, bits: make([]uint64, n*w)}
+}
+
+// Row returns row i's words, aliased into the matrix storage.
+func (m *Matrix) Row(i int) []uint64 { return m.bits[i*m.W : (i+1)*m.W : (i+1)*m.W] }
+
+// Get reports whether bit (i,j) is set.
+func (m *Matrix) Get(i, j int) bool {
+	return m.bits[i*m.W+j/WordBits]&(1<<(j%WordBits)) != 0
+}
+
+// Set sets bit (i,j).
+func (m *Matrix) Set(i, j int) { m.bits[i*m.W+j/WordBits] |= 1 << (j % WordBits) }
+
+// Clear clears bit (i,j).
+func (m *Matrix) Clear(i, j int) { m.bits[i*m.W+j/WordBits] &^= 1 << (j % WordBits) }
+
+// SetTo sets bit (i,j) to v.
+func (m *Matrix) SetTo(i, j int, v bool) {
+	if v {
+		m.Set(i, j)
+	} else {
+		m.Clear(i, j)
+	}
+}
+
+// Zero clears the whole matrix.
+func (m *Matrix) Zero() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{N: m.N, W: m.W, bits: make([]uint64, len(m.bits))}
+	copy(c.bits, m.bits)
+	return c
+}
+
+// CopyFrom overwrites m with src. The two matrices must be the same
+// size.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.N != src.N {
+		panic(fmt.Sprintf("bits: copy %d×%d over %d×%d", src.N, src.N, m.N, m.N))
+	}
+	copy(m.bits, src.bits)
+}
+
+// Equal reports whether two matrices hold the same bits. Sizes must
+// match for equality; the trailing-zero invariant makes whole-word
+// comparison exact.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i, w := range m.bits {
+		if o.bits[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Or accumulates src into dst word-wise: dst |= src. This is the one
+// word op that replaces 64 scalar OR steps in the Boolean product.
+func Or(dst, src []uint64) {
+	_ = dst[len(src)-1]
+	for w, s := range src {
+		dst[w] |= s
+	}
+}
+
+// Popcount returns the number of set bits across the row words.
+func Popcount(row []uint64) int {
+	n := 0
+	for _, w := range row {
+		n += mathbits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f(j) for every set bit j in the row, ascending. It
+// scans word-at-a-time with trailing-zero counts, so sparse rows cost
+// O(words + popcount) rather than O(columns).
+func ForEach(row []uint64, f func(j int)) {
+	for wi, w := range row {
+		base := wi * WordBits
+		for w != 0 {
+			f(base + mathbits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the first set bit ≥ from in the row, or -1 when no
+// such bit exists.
+func NextSet(row []uint64, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from / WordBits
+	if wi >= len(row) {
+		return -1
+	}
+	w := row[wi] >> (from % WordBits)
+	if w != 0 {
+		return from + mathbits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(row); wi++ {
+		if row[wi] != 0 {
+			return wi*WordBits + mathbits.TrailingZeros64(row[wi])
+		}
+	}
+	return -1
+}
+
+// PackRow fills dst (at least Words(len(src)) words, pre-zeroed by
+// the caller or overwritten here) with the Boolean image of src:
+// bit j set iff src[j] != 0.
+func PackRow(dst []uint64, src []int64) {
+	n := len(src)
+	for w := 0; w < Words(n); w++ {
+		dst[w] = 0
+	}
+	for j, v := range src {
+		if v != 0 {
+			dst[j/WordBits] |= 1 << (j % WordBits)
+		}
+	}
+}
+
+// FromRows packs the Boolean image of the square scalar matrix rows
+// (bit set iff the entry is nonzero).
+func FromRows(rows [][]int64) *Matrix {
+	m := NewMatrix(len(rows))
+	for i, row := range rows {
+		if len(row) != m.N {
+			panic(fmt.Sprintf("bits: ragged row %d: %d columns in a %d×%d matrix", i, len(row), m.N, m.N))
+		}
+		PackRow(m.Row(i), row)
+	}
+	return m
+}
+
+// ToRows unpacks the matrix to 0/1 scalar rows.
+func (m *Matrix) ToRows() [][]int64 {
+	rows := make([][]int64, m.N)
+	flat := make([]int64, m.N*m.N)
+	for i := range rows {
+		rows[i], flat = flat[:m.N:m.N], flat[m.N:]
+		row := m.Row(i)
+		for j := 0; j < m.N; j++ {
+			if row[j/WordBits]&(1<<(j%WordBits)) != 0 {
+				rows[i][j] = 1
+			}
+		}
+	}
+	return rows
+}

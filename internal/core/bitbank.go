@@ -1,0 +1,107 @@
+package core
+
+import (
+	"repro/internal/bits"
+)
+
+// This file adds packed bit banks to the machine: K×K Boolean
+// register shadows stored 64 BPs per uint64 word (internal/bits).
+// They exist for the packed Boolean execution mode (internal/packed):
+// LoadGraph mirrors the adjacency register into a bit bank through
+// the same stuck-BP write guard as the scalar bank, so the packed
+// engine's input is exactly the Boolean image of what the scalar
+// program would read, and healthy scalar sweeps can word-skip all-zero
+// spans. Bit banks carry data only — no timing is ever derived from
+// them; every simulated bit-time still comes from the tree routers.
+//
+// Lifecycle mirrors the scalar COW-map banks: lazily grown under
+// regMu, zeroed by Recycle, captured and restored by
+// Snapshot/Restore.
+
+// bitBanks is the COW map type behind Machine.bitRegs.
+type bitBanks = map[Reg]*bits.Matrix
+
+// BitBank returns (allocating on first use) the packed K×K bit bank
+// shadowing register r. Like the scalar exotic banks it lives behind
+// an atomic copy-on-write map, so ParDo bodies on concurrent host
+// workers read installed banks without synchronization.
+func (m *Machine) BitBank(r Reg) *bits.Matrix {
+	if b, ok := (*m.loadBitRegs())[r]; ok {
+		return b
+	}
+	return m.growBitBank(r)
+}
+
+// HasBitBank reports whether a bit bank for r has been created,
+// without creating one.
+func (m *Machine) HasBitBank(r Reg) bool {
+	_, ok := (*m.loadBitRegs())[r]
+	return ok
+}
+
+// loadBitRegs returns the current bit-bank map, installing the empty
+// map on first touch of a machine constructed before this field
+// existed in init (NewWithRouters goes through init too, but a
+// zero-value atomic holds nil until first Store).
+func (m *Machine) loadBitRegs() *bitBanks {
+	if p := m.bitRegs.Load(); p != nil {
+		return p
+	}
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	if p := m.bitRegs.Load(); p != nil {
+		return p
+	}
+	empty := make(bitBanks)
+	m.bitRegs.Store(&empty)
+	return &empty
+}
+
+// growBitBank installs a fresh all-zero bit bank under the register
+// lock, republishing the whole map (same protocol as growBank).
+func (m *Machine) growBitBank(r Reg) *bits.Matrix {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	cur := *m.loadBitRegsLocked()
+	if b, ok := cur[r]; ok {
+		return b
+	}
+	next := make(bitBanks, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	b := bits.NewMatrix(m.K)
+	next[r] = b
+	m.bitRegs.Store(&next)
+	return b
+}
+
+// loadBitRegsLocked is loadBitRegs for callers already holding regMu.
+func (m *Machine) loadBitRegsLocked() *bitBanks {
+	if p := m.bitRegs.Load(); p != nil {
+		return p
+	}
+	empty := make(bitBanks)
+	m.bitRegs.Store(&empty)
+	return &empty
+}
+
+// SetBit writes bit (i,j) of register r's bit bank. A stuck BP's
+// register file is frozen, packed shadows included: writes to it are
+// dropped, exactly like Machine.Set.
+func (m *Machine) SetBit(r Reg, i, j int, v bool) {
+	if m.stuck != nil && m.stuck[[2]int{i, j}] {
+		return
+	}
+	m.BitBank(r).SetTo(i, j, v)
+}
+
+// GetBit reads bit (i,j) of register r's bit bank.
+func (m *Machine) GetBit(r Reg, i, j int) bool { return m.BitBank(r).Get(i, j) }
+
+// eachBitBank visits every live bit bank.
+func (m *Machine) eachBitBank(f func(r Reg, b *bits.Matrix)) {
+	for r, b := range *m.loadBitRegs() {
+		f(r, b)
+	}
+}

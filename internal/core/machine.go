@@ -197,6 +197,11 @@ type Machine struct {
 	regs  atomic.Pointer[map[Reg][]int64]
 	regMu sync.Mutex
 
+	// bitRegs holds the packed Boolean bit banks (see bitbank.go),
+	// behind the same COW protocol as regs and guarded by regMu on the
+	// grow path.
+	bitRegs atomic.Pointer[bitBanks]
+
 	rowRoot []int64
 	colRoot []int64
 
@@ -295,6 +300,8 @@ func (m *Machine) init() {
 	}
 	empty := make(map[Reg][]int64)
 	m.regs.Store(&empty)
+	emptyBits := make(bitBanks)
+	m.bitRegs.Store(&emptyBits)
 	k := m.K
 	m.permPool.New = func() any {
 		return &permScratch{seen: make([]bool, k), vals: make([]int64, k)}
@@ -325,15 +332,65 @@ func New(k int, cfg vlsi.Config) (*Machine, error) {
 		disjointRouters: true,
 	}
 	m.init()
-	for i := 0; i < k; i++ {
-		if m.rows[i], err = tree.New(geom.RowTree, cfg); err != nil {
-			return nil, err
-		}
-		if m.cols[i], err = tree.New(geom.ColTree, cfg); err != nil {
-			return nil, err
-		}
+	if err := m.buildTrees(geom, cfg, false); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// buildTrees populates the 2K routers of a native OTN, sharding the
+// bulk tree constructor (tree.NewBulk: shared latency table, slab
+// arenas) across host workers. Shards only split the allocation work;
+// every tree is identical to one built alone, so the machine is
+// bit-for-bit the machine the serial constructor produced.
+func (m *Machine) buildTrees(geom *layout.OTNGeom, cfg vlsi.Config, scaled bool) error {
+	build := func(g *layout.TreeGeom, count int) ([]*tree.Tree, error) {
+		if scaled {
+			return tree.NewScaledBulk(g, cfg, count)
+		}
+		return tree.NewBulk(g, cfg, count)
+	}
+	k := m.K
+	shards := par.DefaultWorkers()
+	if shards > k {
+		shards = k
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	chunk := (k + shards - 1) / shards
+	errs := make([]error, 2*shards)
+	// 2·shards independent jobs: shard s of the row trees, then shard
+	// s of the column trees — each bulk call owns a private arena.
+	par.Do(2*shards, 2*shards, func(job int) {
+		half, s := job/shards, job%shards
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			return
+		}
+		g, dst := geom.RowTree, m.rows
+		if half == 1 {
+			g, dst = geom.ColTree, m.cols
+		}
+		ts, err := build(g, hi-lo)
+		if err != nil {
+			errs[job] = err
+			return
+		}
+		for i, t := range ts {
+			dst[lo+i] = t
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewDefault builds a (K×K)-OTN with the paper's default
@@ -369,13 +426,8 @@ func NewScaled(k int, cfg vlsi.Config) (*Machine, error) {
 		disjointRouters: true,
 	}
 	m.init()
-	for i := 0; i < k; i++ {
-		if m.rows[i], err = tree.NewScaled(geom.RowTree, cfg); err != nil {
-			return nil, err
-		}
-		if m.cols[i], err = tree.NewScaled(geom.ColTree, cfg); err != nil {
-			return nil, err
-		}
+	if err := m.buildTrees(geom, cfg, true); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -383,6 +435,20 @@ func NewScaled(k int, cfg vlsi.Config) (*Machine, error) {
 // Area returns the chip area of the machine's layout: Θ(K² log² K)
 // for the native OTN, whatever the backing network reports otherwise.
 func (m *Machine) Area() vlsi.Area { return m.area }
+
+// Scaled reports whether the machine's trees use Thompson's scaling
+// technique (NewScaled). False for emulated machines built over
+// custom routers — their timing is not the native tree timing either
+// way, which is why the packed adapter requires Geom != nil too.
+func (m *Machine) Scaled() bool {
+	if len(m.rows) == 0 {
+		return false
+	}
+	if t, ok := m.rows[0].(*tree.Tree); ok {
+		return t.Scaled()
+	}
+	return false
+}
 
 // WordBits returns the configured word width.
 func (m *Machine) WordBits() int { return m.Cfg.WordBits }

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/fault"
+import (
+	"repro/internal/bits"
+	"repro/internal/fault"
+)
 
 // This file implements machine recycling, the core of the
 // internal/mcache checkout/return protocol: construction (layout
@@ -50,6 +53,7 @@ func (m *Machine) Recycle() {
 			bank[i] = 0
 		}
 	})
+	m.eachBitBank(func(_ Reg, b *bits.Matrix) { b.Zero() })
 	for i := range m.rowRoot {
 		m.rowRoot[i] = 0
 		m.colRoot[i] = 0

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/bits"
 	"repro/internal/tree"
 )
 
@@ -18,6 +19,7 @@ import (
 // Machine.Restore.
 type Snapshot struct {
 	banks            map[Reg][]int64
+	bitBanks         map[Reg]*bits.Matrix
 	rowRoot, colRoot []int64
 	rows, cols       []*tree.State
 }
@@ -59,6 +61,12 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	m.eachBank(func(r Reg, bank []int64) {
 		s.banks[r] = append([]int64(nil), bank...)
 	})
+	m.eachBitBank(func(r Reg, b *bits.Matrix) {
+		if s.bitBanks == nil {
+			s.bitBanks = make(map[Reg]*bits.Matrix)
+		}
+		s.bitBanks[r] = b.Clone()
+	})
 	for i := 0; i < m.K; i++ {
 		rr, ok := m.rows[i].(routerState)
 		if !ok {
@@ -91,6 +99,13 @@ func (m *Machine) Restore(s *Snapshot) error {
 			for i := range bank {
 				bank[i] = 0
 			}
+		}
+	})
+	m.eachBitBank(func(r Reg, b *bits.Matrix) {
+		if saved, ok := s.bitBanks[r]; ok {
+			b.CopyFrom(saved)
+		} else {
+			b.Zero()
 		}
 	})
 	copy(m.rowRoot, s.rowRoot)

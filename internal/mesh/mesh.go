@@ -22,6 +22,7 @@ package mesh
 import (
 	"fmt"
 
+	"repro/internal/bits"
 	"repro/internal/layout"
 	"repro/internal/vlsi"
 )
@@ -165,18 +166,8 @@ func (m *Machine) CannonMatMul(a, b [][]int64, boolean bool, rel vlsi.Time) ([][
 	if boolean {
 		// Boolean product as bitset rows: row i of C is the OR of the
 		// B rows picked out by the nonzero entries of row i of A.
-		words := (k + 63) / 64
-		bbits := make([]uint64, k*words)
-		for l := 0; l < k; l++ {
-			row := b[l]
-			_ = row[k-1]
-			for j := 0; j < k; j++ {
-				if row[j] != 0 {
-					bbits[l*words+j/64] |= 1 << (j % 64)
-				}
-			}
-		}
-		acc := make([]uint64, words)
+		bbits := bits.FromRows(b)
+		acc := make([]uint64, bbits.W)
 		for i := 0; i < k; i++ {
 			for w := range acc {
 				acc[w] = 0
@@ -185,18 +176,11 @@ func (m *Machine) CannonMatMul(a, b [][]int64, boolean bool, rel vlsi.Time) ([][
 			_ = ai[k-1]
 			for l := 0; l < k; l++ {
 				if ai[l] != 0 {
-					bw := bbits[l*words : (l+1)*words]
-					for w := range acc {
-						acc[w] |= bw[w]
-					}
+					bits.Or(acc, bbits.Row(l))
 				}
 			}
 			ci := cs[i]
-			for j := 0; j < k; j++ {
-				if acc[j/64]&(1<<(j%64)) != 0 {
-					ci[j] = 1
-				}
-			}
+			bits.ForEach(acc, func(j int) { ci[j] = 1 })
 		}
 	} else {
 		for i := 0; i < k; i++ {

@@ -1,0 +1,71 @@
+package packed
+
+import (
+	"repro/internal/algorithms/graph"
+	"repro/internal/core"
+	"repro/internal/vlsi"
+)
+
+// This file is the scalar↔packed adapter: callers hand it a machine
+// with a loaded graph and get the Boolean workload's answer, packed
+// when that is provably identical, scalar otherwise. The eligibility
+// test is conservative and total:
+//
+//   - Geom != nil: native OTN — emulated (OTC) machines route through
+//     shared physical trees whose issue-order contention the fused
+//     tables cannot express.
+//   - !Faulty(): fault views change first-bit reachability, charge
+//     ascent numbers at traversal time, freeze stuck BPs' registers
+//     and feed the health ledger — all traversal-time effects, so
+//     degraded (and transient-bearing) runs always take the scalar
+//     path. A healthy run has a nil ledger on both paths, which is
+//     how "identical health counters" holds.
+//   - Tracer == nil: tracing observes individual primitives, which
+//     the fused replay deliberately never issues.
+//   - a clean sticky error and a loaded adjacency shadow.
+//
+// The fallback is not best-effort: the differential fuzz in this
+// package drives both paths (and the fault plans that force the
+// fallback) and asserts identical labels, times and health counters.
+
+// Eligible reports whether m's next Boolean-family run would use the
+// packed engine.
+func Eligible(m *core.Machine) bool {
+	return m.Geom != nil && !m.Faulty() && m.Tracer == nil && m.Err() == nil &&
+		m.HasBitBank(graph.RegAdj)
+}
+
+// engineOf returns the shared engine matching m's shape.
+func engineOf(m *core.Machine) (*Engine, error) {
+	return EngineFor(m.K, m.Cfg, m.Scaled())
+}
+
+// RunComponents labels the graph resident in m (graph.LoadGraph),
+// packed when eligible. Returns the labels, the completion time, and
+// whether the packed engine ran. On the packed path the machine is
+// not touched at all — its registers keep the loaded adjacency.
+func RunComponents(m *core.Machine, rel vlsi.Time) ([]int64, vlsi.Time, bool) {
+	if Eligible(m) {
+		if e, err := engineOf(m); err == nil {
+			labels, t := e.componentsFrom(m.BitBank(graph.RegAdj), rel)
+			return labels, t, true
+		}
+	}
+	labels, t := graph.ConnectedComponents(m, rel)
+	return labels, t, false
+}
+
+// RunClosure computes the reflexive-transitive closure of the graph
+// resident in m, packed when eligible. The scalar path updates m's
+// adj register in place (graph.ClosureOTN semantics); the packed path
+// leaves the machine untouched and returns a fresh matrix.
+func RunClosure(m *core.Machine, rel vlsi.Time) ([][]int64, vlsi.Time, bool) {
+	if Eligible(m) {
+		if e, err := engineOf(m); err == nil {
+			r, t := e.closureFrom(m.BitBank(graph.RegAdj), rel)
+			return r.ToRows(), t, true
+		}
+	}
+	closure, t := graph.ClosureOTN(m, rel)
+	return closure, t, false
+}

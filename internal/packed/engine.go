@@ -1,0 +1,292 @@
+// Package packed implements the bit-packed Boolean execution mode:
+// the Boolean workload family (transitive closure, connected
+// components — the paper's Table III problems) evaluated over uint64
+// words, 64 base processors per word op, with simulated bit-times
+// replayed from fused whole-program schedules instead of interpreted
+// tree traversals.
+//
+// An Engine is machine-free: it carries the measured OTN geometry's
+// area and two fused duration tables (internal/tree.Fused, one per
+// congruent row/column tree shape) and nothing else. Where a
+// core.Machine at K=1024 costs hundreds of megabytes of routers and
+// register banks, the engine is a few kilobytes, which is what makes
+// the paper's Table III curves computable at N=1024 in CI.
+//
+// The contract, pinned by the differential fuzz in this package and
+// enforced at runtime by the adapter (adapter.go): for every healthy
+// machine at every overlapping N, the packed engine returns exactly
+// the labels, closure matrices and completion bit-times of the scalar
+// programs in internal/algorithms/graph. Faulty or traced machines
+// are never routed here — fault views change first-bit reachability
+// and charge ascent numbers at traversal time, so those runs take the
+// scalar interpreter/plan path (DESIGN.md §13).
+package packed
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/tree"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// Engine evaluates the Boolean workload family over packed words for
+// one OTN shape. Engines are immutable after construction and safe
+// for concurrent use.
+type Engine struct {
+	// K is the base side (= vertex count of the graphs it accepts).
+	K int
+	// Cfg is the word width and delay model of the simulated machine.
+	Cfg vlsi.Config
+	// Scaled marks Thompson-scaled trees (core.NewScaled timing).
+	Scaled bool
+
+	area vlsi.Area
+	fRow *tree.Fused
+	fCol *tree.Fused
+
+	// Fused whole-program schedule constants, recorded once at
+	// construction and replayed additively per round — the packed
+	// counterpart of plan.go's recorded traversals.
+	ccFixedA     vlsi.Time // components a1..a4: col bcast + row bcast + compare + row reduce
+	ccFixedB2C   vlsi.Time // components b2+c: col reduce + col bcast
+	closureRound vlsi.Time // closure: one full Boolean squaring (n inner steps)
+}
+
+// New builds the packed engine of core.New(k, cfg): same measured
+// geometry, same area, fused tables probed from the same tree shapes.
+func New(k int, cfg vlsi.Config) (*Engine, error) { return build(k, cfg, false) }
+
+// NewScaled builds the packed engine of core.NewScaled(k, cfg).
+func NewScaled(k int, cfg vlsi.Config) (*Engine, error) { return build(k, cfg, true) }
+
+func build(k int, cfg vlsi.Config, scaled bool) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := layout.MeasureOTN(k, cfg.WordBits)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{K: k, Cfg: cfg, Scaled: scaled, area: geom.Area()}
+	if e.fRow, err = tree.NewFused(geom.RowTree, cfg, scaled); err != nil {
+		return nil, err
+	}
+	if e.fCol, err = tree.NewFused(geom.ColTree, cfg, scaled); err != nil {
+		return nil, err
+	}
+	w := vlsi.Time(cfg.WordBits)
+	e.ccFixedA = e.fCol.Broadcast + e.fRow.Broadcast + w + e.fRow.ReduceUniform
+	e.ccFixedB2C = e.fCol.ReduceUniform + e.fCol.Broadcast
+	for l := 0; l < k; l++ {
+		// One closure inner step: row LEAFTOLEAF (gather l + flood),
+		// column LEAFTOLEAF, one local bit-op.
+		e.closureRound += e.fRow.Gather[l] + e.fRow.Broadcast +
+			e.fCol.Gather[l] + e.fCol.Broadcast + 1
+	}
+	return e, nil
+}
+
+// Area is the chip area of the engine's layout — identical to the
+// corresponding core.Machine's Area().
+func (e *Engine) Area() vlsi.Area { return e.area }
+
+// PackGraph packs a workload graph's adjacency for the engine.
+func PackGraph(g *workload.Graph) *bits.Matrix {
+	m := bits.NewMatrix(g.N)
+	for v := 0; v < g.N; v++ {
+		for u, a := range g.Adj[v] {
+			if a {
+				m.Set(v, u)
+			}
+		}
+	}
+	return m
+}
+
+// Components labels the graph's vertices, mirroring
+// graph.ConnectedComponents on a healthy machine: same labels, same
+// completion bit-time.
+func (e *Engine) Components(g *workload.Graph, rel vlsi.Time) ([]int64, vlsi.Time) {
+	if g.N != e.K {
+		panic(fmt.Sprintf("packed: %d vertices on a (%d×%d) engine", g.N, e.K, e.K))
+	}
+	return e.componentsFrom(PackGraph(g), rel)
+}
+
+// componentsFrom is the engine core over a packed adjacency.
+func (e *Engine) componentsFrom(adj *bits.Matrix, rel vlsi.Time) ([]int64, vlsi.Time) {
+	n := e.K
+	if adj.N != n {
+		panic(fmt.Sprintf("packed: %d-vertex adjacency on a (%d×%d) engine", adj.N, e.K, e.K))
+	}
+	d := make([]int64, n)
+	for v := range d {
+		d[v] = int64(v)
+	}
+	t := rel
+	maxRounds := vlsi.Log2Ceil(n) + 2
+	for round := 0; round < maxRounds; round++ {
+		var changed bool
+		d, t, changed = e.ccRound(adj, d, t)
+		if !changed {
+			break
+		}
+	}
+	return d, t
+}
+
+// ccRound replays one hook-and-contract iteration of graph.ccRound:
+// each primitive's duration comes from the fused tables, each data
+// step is the scalar step evaluated over packed adjacency rows.
+func (e *Engine) ccRound(adj *bits.Matrix, d []int64, rel vlsi.Time) ([]int64, vlsi.Time, bool) {
+	n := e.K
+
+	// (a1) D down every column, (a2) D along every row, (a3) local
+	// candidate compare, (a4) MIN ascent per row.
+	t := rel + e.ccFixedA
+	cOf := make([]int64, n)
+	for v := 0; v < n; v++ {
+		c := core.Null
+		dv := d[v]
+		bits.ForEach(adj.Row(v), func(u int) {
+			if du := d[u]; du != dv && (c == core.Null || du < c) {
+				c = du
+			}
+		})
+		cOf[v] = c
+	}
+
+	// (b1) stage C(v) at column D(v): a selective row broadcast that
+	// only charges when some row actually floods (ParDo is a max, and
+	// deselected rows return their release time unchanged).
+	anyHook := false
+	for v := 0; v < n; v++ {
+		if cOf[v] != core.Null {
+			anyHook = true
+			break
+		}
+	}
+	if anyHook {
+		t += e.fRow.Broadcast
+	}
+	// (b2) MIN per column + (c) the hook-resolution broadcast.
+	t += e.ccFixedB2C
+	hook := make([]int64, n)
+	for s := range hook {
+		hook[s] = core.Null
+	}
+	for v := 0; v < n; v++ {
+		if cOf[v] == core.Null {
+			continue
+		}
+		s := d[v]
+		if hook[s] == core.Null || cOf[v] < hook[s] {
+			hook[s] = cOf[v]
+		}
+	}
+
+	// (c) resolve hooks — the scalar logic verbatim.
+	newD := append([]int64(nil), d...)
+	changed := false
+	for s := 0; s < n; s++ {
+		if d[s] != int64(s) {
+			continue
+		}
+		ee := hook[s]
+		if ee == core.Null {
+			continue
+		}
+		if hook[ee] == int64(s) && int64(s) < ee {
+			continue
+		}
+		newD[s] = ee
+		changed = true
+	}
+
+	// (d) pointer jumping: per jump, a column broadcast plus the
+	// slowest row gather from leaf prev[v].
+	for j := 0; j < vlsi.Log2Ceil(n); j++ {
+		prev := append([]int64(nil), newD...)
+		t += e.fCol.Broadcast
+		var maxG vlsi.Time
+		for v := 0; v < n; v++ {
+			if g := e.fRow.Gather[prev[v]]; g > maxG {
+				maxG = g
+			}
+			newD[v] = prev[prev[v]]
+		}
+		t += maxG
+	}
+	return newD, t, changed
+}
+
+// Closure computes the reflexive-transitive closure, mirroring
+// graph.ClosureOTN on a healthy machine: same matrix, same completion
+// bit-time. The returned matrix is freshly allocated.
+func (e *Engine) Closure(g *workload.Graph, rel vlsi.Time) (*bits.Matrix, vlsi.Time) {
+	if g.N != e.K {
+		panic(fmt.Sprintf("packed: %d vertices on a (%d×%d) engine", g.N, e.K, e.K))
+	}
+	return e.closureFrom(PackGraph(g), rel)
+}
+
+// closureFrom squares R = adj ∨ I until fixpoint. adj is not
+// mutated.
+func (e *Engine) closureFrom(adj *bits.Matrix, rel vlsi.Time) (*bits.Matrix, vlsi.Time) {
+	n := e.K
+	if adj.N != n {
+		panic(fmt.Sprintf("packed: %d-vertex adjacency on a (%d×%d) engine", adj.N, e.K, e.K))
+	}
+	r := adj.Clone()
+	for v := 0; v < n; v++ {
+		r.Set(v, v)
+	}
+	t := rel + 1 // reflexive diagonal: one local bit-op
+	for round := 0; round < vlsi.Log2Ceil(n); round++ {
+		// One Boolean squaring: acc(v) = OR of R rows picked out by
+		// R(v)'s set bits. The diagonal makes acc ⊇ R, so acc is the
+		// merged matrix directly and "changed" is plain inequality.
+		acc := bits.NewMatrix(n)
+		for v := 0; v < n; v++ {
+			dst := acc.Row(v)
+			bits.ForEach(r.Row(v), func(l int) {
+				bits.Or(dst, r.Row(l))
+			})
+		}
+		t += e.closureRound
+		changed := !acc.Equal(r)
+		r = acc
+		t += 1 // merge ∨ + change detection: one local bit-op
+		if !changed {
+			break
+		}
+	}
+	return r, t
+}
+
+// ComponentsBatch runs B independent component labelings as packed
+// lanes: one engine, B adjacency matrices, host-parallel across
+// lanes. Each lane's labels and completion time are identical to a
+// dedicated Components call — lanes share only immutable tables.
+func (e *Engine) ComponentsBatch(gs []*workload.Graph, rel vlsi.Time) ([][]int64, []vlsi.Time) {
+	labels := make([][]int64, len(gs))
+	times := make([]vlsi.Time, len(gs))
+	forEachLane(len(gs), func(p int) {
+		labels[p], times[p] = e.Components(gs[p], rel)
+	})
+	return labels, times
+}
+
+// ClosureBatch is ComponentsBatch for transitive closures.
+func (e *Engine) ClosureBatch(gs []*workload.Graph, rel vlsi.Time) ([]*bits.Matrix, []vlsi.Time) {
+	rs := make([]*bits.Matrix, len(gs))
+	times := make([]vlsi.Time, len(gs))
+	forEachLane(len(gs), func(p int) {
+		rs[p], times[p] = e.Closure(gs[p], rel)
+	})
+	return rs, times
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/algorithms/sorting"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/packed"
 	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/vlsi"
@@ -172,6 +173,13 @@ func TestServerMatchesOtsim(t *testing.T) {
 		{Alg: "sort", N: 16, Seed: 5, Faults: 2},
 		{Alg: "sort", N: 8, Seed: 9, Events: &three},
 		{Alg: "cc", N: 8, Seed: 13, Events: &three},
+		// Packed jobs: the reference below runs the scalar machine
+		// program, so these three pin the tentpole contract end to
+		// end — the packed engine's response bytes are exactly what
+		// the scalar path would have sent.
+		{Alg: "cc", N: 16, Seed: 11, Packed: true},
+		{Alg: "cc", N: 64, Seed: 21, Packed: true},
+		{Alg: "cc", Network: "scaled", N: 16, Seed: 11, Packed: true},
 	}
 	ts := testServer(t, Config{Workers: 2})
 	for _, j := range jobs {
@@ -190,6 +198,59 @@ func TestServerMatchesOtsim(t *testing.T) {
 				t.Fatalf("response bytes differ from otsim output:\nserver:\n%s\notsim:\n%s", raw, wb)
 			}
 		})
+	}
+}
+
+// TestPackedLargeN pins the packed admission extension: a packed
+// Boolean job at N=1024 — four times the scalar size bound — is
+// accepted, served without a machine checkout, and reports exactly
+// the packed engine's simulated results; /metrics counts it and its
+// lane occupancy. The same N on the scalar path stays rejected, as do
+// packed requests for non-Boolean or degraded runs.
+func TestPackedLargeN(t *testing.T) {
+	ts := testServer(t, Config{Workers: 2})
+	j := &Job{Alg: "cc", N: 1024, Seed: 5, Packed: true}
+	rep, _ := postJob(t, ts, j)
+
+	eng, err := packed.EngineFor(j.N, j.config(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewRNG(j.Seed).Gnp(j.N, 2.0/float64(j.N))
+	_, wantT := eng.Components(g, 0)
+	if rep.Time != int64(wantT) || rep.Area != int64(eng.Area()) {
+		t.Fatalf("packed N=1024 report time/area (%d, %d) != engine (%d, %d)",
+			rep.Time, rep.Area, wantT, eng.Area())
+	}
+	if !rep.Recovered || rep.Error != "" {
+		t.Fatalf("packed N=1024 job unhealthy: %+v", rep)
+	}
+
+	for _, bad := range []*Job{
+		{Alg: "cc", N: 1024, Seed: 5},                 // scalar path keeps the scalar bound
+		{Alg: "sort", N: 16, Seed: 5, Packed: true},   // packed is Boolean-family only
+		{Alg: "cc", N: 16, Faults: 1, Packed: true},   // degraded runs take the scalar path
+		{Alg: "cc", N: 16, Events: new(int), Packed: true}, // supervised likewise
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("job %+v validated; want rejection", bad)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.PackedJobs != 1 {
+		t.Fatalf("packed_jobs = %d, want 1", snap.PackedJobs)
+	}
+	if snap.PackedLaneOccup != 1.0 {
+		t.Fatalf("packed_lane_occupancy = %v, want 1.0 (1024 bits fill 16 words)", snap.PackedLaneOccup)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mcache"
+	"repro/internal/packed"
 	"repro/internal/report"
 	"repro/internal/resilience"
 	"repro/internal/vlsi"
@@ -66,7 +67,35 @@ func (e *Executor) Run(ctx context.Context, j *Job) (*report.Report, error) {
 	if j.Supervised() {
 		return e.runSupervised(ctx, j)
 	}
+	if j.usesPacked() {
+		return e.runPacked(ctx, j)
+	}
 	return e.runPlain(ctx, j)
+}
+
+// runPacked serves a healthy Boolean job from the machine-free packed
+// engine: no checkout, no cache pressure — the engine is a few fused
+// duration tables shared process-wide, and the run touches O(N²/64)
+// words of adjacency. The report is byte-identical to the scalar
+// path's for the same job (same seed, same graph, same simulated time
+// and area) — TestServerMatchesOtsim pins the bytes.
+func (e *Executor) runPacked(ctx context.Context, j *Job) (*report.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng, err := packed.EngineFor(j.N, j.config(), j.network() == "scaled")
+	if err != nil {
+		return nil, err
+	}
+	g := workload.NewRNG(j.Seed).Gnp(j.N, 2.0/float64(j.N))
+	_, elapsed := eng.Components(g, 0)
+	metric := vlsi.Metric{Area: eng.Area(), Time: elapsed}
+	return &report.Report{
+		Alg: j.Alg, Network: j.network(), Model: j.model().Name(), N: j.N, Seed: j.Seed,
+		Time: int64(elapsed), Area: int64(eng.Area()), AT2: metric.AT2(),
+		Recovered: true,
+		JobID:     j.ID,
+	}, nil
 }
 
 // runPlain mirrors otsim's default mode: build (or check out) the

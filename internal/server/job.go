@@ -39,6 +39,12 @@ import (
 // sizes that would let one job exhaust the host.
 const MaxN = 256
 
+// PackedMaxN is the size bound for packed Boolean jobs. The packed
+// engine holds no machine at all — a few fused duration tables plus
+// O(N²/64) words of adjacency per run — so admission can afford four
+// times the scalar bound.
+const PackedMaxN = 1024
+
 // Job is one simulation request, the POST /jobs body. The zero value
 // of every optional field means its otsim default.
 type Job struct {
@@ -56,10 +62,19 @@ type Job struct {
 	// Model is the wire-delay model: "log" (default), "const" or
 	// "linear".
 	Model string `json:"model,omitempty"`
-	// N is the problem size (power of two, ≤ MaxN).
+	// N is the problem size (power of two, ≤ MaxN; packed Boolean
+	// jobs may go up to PackedMaxN).
 	N int `json:"n"`
 	// Seed drives the workload generator, exactly as otsim -seed.
 	Seed uint64 `json:"seed"`
+
+	// Packed requests the bit-packed Boolean engine for a healthy
+	// "cc" job: no machine checkout, simulated results byte-identical
+	// to the scalar path. Fault and supervised modes are traversal-
+	// time effects the fused schedules cannot express, so combining
+	// them with Packed is a validation error rather than a silent
+	// fallback.
+	Packed bool `json:"packed,omitempty"`
 
 	// Faults, when positive, injects that many random dead tree edges
 	// before the run (otsim -faults).
@@ -103,8 +118,20 @@ func (j *Job) Validate() error {
 	default:
 		return fmt.Errorf("unknown model %q (log | const | linear)", j.Model)
 	}
-	if j.N < 2 || j.N > MaxN || j.N&(j.N-1) != 0 {
-		return fmt.Errorf("n = %d must be a power of two in [2, %d]", j.N, MaxN)
+	if j.Packed {
+		if j.Alg != "cc" {
+			return fmt.Errorf("packed execution covers the Boolean workload family only (alg \"cc\", got %q)", j.Alg)
+		}
+		if j.Faults > 0 || j.Events != nil {
+			return fmt.Errorf("packed execution is for healthy plain runs; fault and supervised modes take the scalar path")
+		}
+	}
+	limit := MaxN
+	if j.Packed {
+		limit = PackedMaxN
+	}
+	if j.N < 2 || j.N > limit || j.N&(j.N-1) != 0 {
+		return fmt.Errorf("n = %d must be a power of two in [2, %d]", j.N, limit)
 	}
 	if j.Faults < 0 {
 		return fmt.Errorf("faults = %d must be non-negative", j.Faults)
@@ -150,8 +177,18 @@ func (j *Job) Class() string {
 		mode = "supervised"
 	} else if j.Faults > 0 {
 		mode = "faulty"
+	} else if j.usesPacked() {
+		mode = "packed"
 	}
 	return fmt.Sprintf("%s/%s/%s/%d/%s", j.Alg, j.network(), j.modelName(), j.N, mode)
+}
+
+// usesPacked reports whether the job runs on the machine-free packed
+// engine. Validation already pins the conjunction, but the executor
+// and metrics re-check it so a hand-built Job degrades to the scalar
+// path instead of mis-running.
+func (j *Job) usesPacked() bool {
+	return j.Packed && j.Alg == "cc" && j.Faults == 0 && !j.Supervised()
 }
 
 // modelName is the resolved model's report name key ("log", "const",

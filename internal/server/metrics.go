@@ -39,6 +39,10 @@ type Metrics struct {
 	laneGroups int64 // batch groups executed
 	laneJobs   int64 // jobs carried by those groups
 	laneMax    int64 // widest group seen
+
+	packedJobs  int64 // jobs served by the machine-free packed engine
+	packedBits  int64 // adjacency-row bits those jobs actually used
+	packedSlots int64 // uint64 bit slots those rows occupied
 }
 
 // NewMetrics starts the clock.
@@ -83,6 +87,13 @@ type Snapshot struct {
 	LaneMax      int64   `json:"lane_max"`
 	LaneAvgOccup float64 `json:"lane_avg_occupancy"`
 
+	// PackedJobs counts jobs served by the machine-free packed
+	// engine; PackedLaneOccup is the fraction of uint64 bit slots
+	// those jobs' packed adjacency rows actually used (N bits in
+	// ⌈N/64⌉ words — 1.0 when every served N is a multiple of 64).
+	PackedJobs      int64   `json:"packed_jobs"`
+	PackedLaneOccup float64 `json:"packed_lane_occupancy"`
+
 	MCache struct {
 		Hits    int     `json:"hits"`
 		Misses  int     `json:"misses"`
@@ -115,6 +126,10 @@ func (m *Metrics) snapshot(queueCap, workers int, cache *mcache.Cache, br *Break
 		QueueDepth: m.queueDepth, QueueCap: queueCap,
 		Inflight: m.inflight, Workers: workers,
 		LaneGroups: m.laneGroups, LaneJobs: m.laneJobs, LaneMax: m.laneMax,
+		PackedJobs: m.packedJobs,
+	}
+	if m.packedSlots > 0 {
+		s.PackedLaneOccup = float64(m.packedBits) / float64(m.packedSlots)
 	}
 	m.mu.Unlock()
 	if s.UptimeSec > 0 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bits"
 	"repro/internal/report"
 )
 
@@ -250,6 +251,13 @@ func (p *Pool) runGroup(group []*queuedJob) {
 		m.inflight -= int64(len(group))
 		if err == nil {
 			m.completed += int64(len(group))
+			for _, j := range specs {
+				if j.usesPacked() {
+					m.packedJobs++
+					m.packedBits += int64(j.N)
+					m.packedSlots += int64(bits.Words(j.N) * bits.WordBits)
+				}
+			}
 		} else {
 			m.failed += int64(len(group))
 			if IsGiveUp(err) {

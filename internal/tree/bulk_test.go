@@ -1,0 +1,68 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+// TestBulkMatchesSerial pins that slab-carved clones are
+// observationally identical to individually built trees: same shape
+// signature, and identical completion times over a random op stream.
+func TestBulkMatchesSerial(t *testing.T) {
+	for _, scaled := range []bool{false, true} {
+		cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(32 * 32), Model: vlsi.LogDelay{}}
+		geom, err := layout.MeasureOTN(32, cfg.WordBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulk, err := NewBulk(geom.RowTree, cfg, 5)
+		if scaled {
+			bulk, err = NewScaledBulk(geom.RowTree, cfg, 5)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := build(geom.RowTree, cfg, scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti, tr := range bulk {
+			if tr.shapeSig != serial.shapeSig {
+				t.Fatalf("scaled=%v clone %d: shapeSig %x, serial %x", scaled, ti, tr.shapeSig, serial.shapeSig)
+			}
+			ref, err := build(geom.RowTree, cfg, scaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(ti)))
+			rel := vlsi.Time(0)
+			for step := 0; step < 40; step++ {
+				var got, want vlsi.Time
+				switch rng.Intn(4) {
+				case 0:
+					_, got = tr.Broadcast(rel)
+					_, want = ref.Broadcast(rel)
+				case 1:
+					got = tr.ReduceUniform(rel)
+					want = ref.ReduceUniform(rel)
+				case 2:
+					j := rng.Intn(tr.K())
+					got = tr.Gather(j, rel)
+					want = ref.Gather(j, rel)
+				case 3:
+					// Deliberately issue before quiescence to exercise
+					// contention state, not just the fused-style path.
+					_, got = tr.Broadcast(rel / 2)
+					_, want = ref.Broadcast(rel / 2)
+				}
+				if got != want {
+					t.Fatalf("scaled=%v clone %d step %d: bulk %d, serial %d", scaled, ti, step, got, want)
+				}
+				rel = got
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/vlsi"
+)
+
+// TestFusedMatchesLiveTree is the quiescence proof in executable
+// form: a random program-style op stream (each op issued at the
+// previous op's completion time, like ParDo-joined programs do) must
+// complete at exactly the sum of the fused table's durations, on both
+// plain and scaled trees, under both delay models.
+func TestFusedMatchesLiveTree(t *testing.T) {
+	for _, k := range []int{4, 16, 64} {
+		for _, scaled := range []bool{false, true} {
+			for _, model := range []vlsi.DelayModel{vlsi.LogDelay{}, vlsi.LinearDelay{}} {
+				cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(k * k), Model: model}
+				geom, err := layout.MeasureOTN(k, cfg.WordBits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := NewFused(geom.RowTree, cfg, scaled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live, err := build(geom.RowTree, cfg, scaled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(k) + 7))
+				rel := vlsi.Time(0)
+				for step := 0; step < 60; step++ {
+					switch op := rng.Intn(3); op {
+					case 0:
+						_, done := live.Broadcast(rel)
+						want := rel + f.Broadcast
+						if done != want {
+							t.Fatalf("K=%d scaled=%v %T step %d: broadcast done %d, fused %d", k, scaled, model, step, done, want)
+						}
+						rel = done
+					case 1:
+						done := live.ReduceUniform(rel)
+						want := rel + f.ReduceUniform
+						if done != want {
+							t.Fatalf("K=%d scaled=%v %T step %d: reduce done %d, fused %d", k, scaled, model, step, done, want)
+						}
+						rel = done
+					case 2:
+						j := rng.Intn(k)
+						done := live.Gather(j, rel)
+						want := rel + f.Gather[j]
+						if done != want {
+							t.Fatalf("K=%d scaled=%v %T step %d: gather(%d) done %d, fused %d", k, scaled, model, step, j, done, want)
+						}
+						rel = done
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedCacheShared pins that two machines of the same shape share
+// one table object, and that different shapes do not collide.
+func TestFusedCacheShared(t *testing.T) {
+	cfg := vlsi.Config{WordBits: vlsi.WordBitsFor(16 * 16), Model: vlsi.LogDelay{}}
+	geom, err := layout.MeasureOTN(16, cfg.WordBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewFused(geom.RowTree, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFused(geom.RowTree, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same shape did not share a fused table")
+	}
+	s, err := NewFused(geom.RowTree, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == a || s.Broadcast == a.Broadcast {
+		t.Fatal("scaled tree shares or matches the unscaled table")
+	}
+}

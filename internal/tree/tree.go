@@ -44,6 +44,10 @@ type Tree struct {
 	// nodeLatency is the per-IP store-and-forward latency in
 	// bit-times (1: each IP re-times the bit stream).
 	nodeLatency vlsi.Time
+	// scaled records Thompson's scaling technique (NewScaled): the
+	// flag is already folded into first[], it is kept explicitly so
+	// machines can report which fused duration table matches them.
+	scaled bool
 
 	// Fault state (see fault.go). faults is nil on a healthy tree,
 	// and every fault guard in the hot paths is nil-cheap, so the
@@ -122,6 +126,7 @@ func build(geom *layout.TreeGeom, cfg vlsi.Config, scaled bool) (*Tree, error) {
 		upFree:      make([]vlsi.Time, 2*geom.K),
 		downFree:    make([]vlsi.Time, 2*geom.K),
 		nodeLatency: 1,
+		scaled:      scaled,
 	}
 	for v := 2; v < 2*geom.K; v++ {
 		if scaled {
@@ -149,6 +154,9 @@ func build(geom *layout.TreeGeom, cfg vlsi.Config, scaled bool) (*Tree, error) {
 
 // K returns the number of leaves.
 func (t *Tree) K() int { return t.geom.K }
+
+// Scaled reports whether the tree uses Thompson's scaling technique.
+func (t *Tree) Scaled() bool { return t.scaled }
 
 // WordBits returns the configured word width.
 func (t *Tree) WordBits() int { return t.cfg.WordBits }

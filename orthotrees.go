@@ -56,6 +56,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/mot3d"
 	"repro/internal/otc"
+	"repro/internal/packed"
 	"repro/internal/psn"
 	"repro/internal/resilience"
 	"repro/internal/vlsi"
@@ -391,6 +392,22 @@ func ComponentsFromClosure(closure [][]int64) []int64 {
 	return graph.ComponentsFromClosure(closure)
 }
 
+// PackedComponents labels the resident graph through the scalar↔packed
+// adapter: the bit-packed fused-schedule engine when the machine is
+// healthy, untraced and native (bit-identical times and labels), the
+// scalar program otherwise. The boolean reports which path ran.
+func PackedComponents(m *Machine) ([]int64, Time, bool) {
+	return packed.RunComponents(m, 0)
+}
+
+// PackedClosure computes the reflexive-transitive closure of the
+// resident graph through the scalar↔packed adapter. On the scalar
+// fallback the machine's adjacency register is updated in place
+// (ClosureOTN semantics); the packed path leaves it untouched.
+func PackedClosure(m *Machine) ([][]int64, Time, bool) {
+	return packed.RunClosure(m, 0)
+}
+
 // DFT computes the N = K²-point discrete Fourier transform
 // (Section IV-B) in Θ(√N log N) bit-times.
 func DFT(m *Machine, xs []complex128) ([]complex128, Time) {
@@ -415,6 +432,11 @@ func Table2(ns []int) (*Experiment, error) { return analysis.Table2BoolMatMul(ns
 
 // Table3 regenerates Table III (connected components).
 func Table3(ns []int) (*Experiment, error) { return analysis.Table3Components(ns) }
+
+// PackedStudy extends Table III past the scalar sweep's reach:
+// connected components on the bit-packed Boolean engine (plain and
+// Thompson-scaled) versus the mesh baseline, at sizes up to N=1024.
+func PackedStudy(ns []int) (*Experiment, error) { return analysis.PackedScalingStudy(ns) }
 
 // Table4 regenerates Table IV (sorting, constant-delay model).
 func Table4(ns []int) (*Experiment, error) {
