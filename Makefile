@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked servesmoke servesweep ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked benchincremental servesmoke servesweep ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ race:
 	$(GO) test -race -run 'Deterministic|Parallel|Batch|Recovery' ./internal/analysis/... ./internal/algorithms/sorting/...
 	$(GO) test -race -run 'Plan|StalePlans' ./internal/tree/... ./internal/mcache/... ./internal/resilience/...
 	$(GO) test -race -run 'Packed|Fused|Bulk' ./internal/packed/... ./internal/tree/... ./internal/analysis/... ./internal/server/...
+	$(GO) test -race -run 'Incremental|Session' ./internal/packed/... ./internal/resilience/... ./internal/server/... ./internal/algorithms/graph/... ./internal/loadgen/...
 
 # Short fuzz passes over the fault-layer determinism properties:
 # static plans, fault-arrival schedules through the recovery
@@ -34,6 +35,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPlanDeterminism -fuzztime 10s ./internal/fault
 	$(GO) test -fuzz FuzzScheduleDeterminism -fuzztime 10s ./internal/fault
 	$(GO) test -fuzz FuzzPackedDifferential -fuzztime 15s ./internal/packed
+	$(GO) test -fuzz FuzzIncrementalDifferential -fuzztime 15s ./internal/resilience
 
 # Regenerate the committed benchmark baseline (host numbers are
 # environmental; the simulated metrics inside must never change).
@@ -69,6 +71,7 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'Table1SortOTN' -benchtime 2x .
 	$(GO) run ./cmd/otsim -alg sort -n 16 -schedule 2 -json > /dev/null
 	$(GO) run ./cmd/otbench -packed -sizes 16,1024 > /dev/null
+	$(GO) run ./cmd/otbench -incremental -sizes 256 > /dev/null
 
 # Packed-engine scaling table: connected components on the bit-packed
 # Boolean engine and the mesh baseline, N=16 → 1024 — the extended
@@ -77,6 +80,14 @@ benchsmoke:
 # laptop; the N=1024 components cell itself simulates in ~2 ms.
 benchpacked:
 	$(GO) run ./cmd/otbench -packed
+
+# Incremental streaming-labeling study: the simulated-cost sweep
+# (labels checked bit-identical to a full recompute after every batch)
+# plus the incremental-vs-recompute host-cost table; fails unless a
+# single-flip batch at the largest size is ≥10× cheaper than a full
+# recompute.
+benchincremental:
+	$(GO) run ./cmd/otbench -incremental
 
 # End-to-end service smoke: build otserve under the race detector,
 # drive it past capacity with otload (flooding client included), then
@@ -93,5 +104,7 @@ servesweep:
 
 # The full gate. benchpacked adds ~1s: the packed N=1024 components
 # cell simulates in ~2ms and the whole extended Table III sweep,
-# engine builds included, is sub-second.
-ci: build vet test race benchsmoke benchpacked servesmoke
+# engine builds included, is sub-second. benchincremental adds a few
+# seconds more: the host-cost entries re-measure under
+# testing.Benchmark at both sizes.
+ci: build vet test race benchsmoke benchpacked benchincremental servesmoke

@@ -29,6 +29,7 @@
 //	otbench -throughput       # batched benchmarks only: instances/sec table
 //	otbench -routes           # compiled vs interpreted routing table
 //	otbench -packed           # packed-engine scaling: Table III out to N=1024
+//	otbench -incremental      # streamed labeling: incremental vs full recompute
 //	otbench -compare BENCH.json -hosttol 30   # also gate ns/op regressions >30%
 //	otbench -cpuprofile cpu.pprof -json /dev/null
 package main
@@ -66,6 +67,7 @@ func main() {
 	throughput := flag.Bool("throughput", false, "run only the batched benchmarks and print an instances/sec table")
 	routes := flag.Bool("routes", false, "run the route-bound benchmarks compiled and interpreted and print the comparison table")
 	packedSweep := flag.Bool("packed", false, "run the packed-engine scaling study (Table III extended to N=1024) and print the table")
+	incremental := flag.Bool("incremental", false, "run the incremental streaming-labeling study and the incremental-vs-recompute host-cost table")
 	servesweep := flag.Bool("servesweep", false, "drive an in-process otserve at three offered-load levels and print the degradation table")
 	hosttol := flag.Float64("hosttol", 0, "percentage tolerance on ns/op regressions in -compare; 0 keeps host times info-only")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -89,6 +91,8 @@ func main() {
 		ok = servesweepMode()
 	} else if *packedSweep {
 		packedMode(*sizes, *format)
+	} else if *incremental {
+		ok = incrementalMode(*sizes, *format)
 	} else if *routes {
 		ok = routesMode()
 	} else if *throughput {
@@ -291,10 +295,12 @@ func (s simMap) rows(e *orthotrees.Experiment) {
 // stack (machine + analysis, including the host-parallel cells);
 // the micro entries pin the allocation behaviour of the hot router
 // and primitive paths that PR 2 flattened.
-var suite = []struct {
+type suiteDef struct {
 	name string
 	run  func(b *testing.B, sim simMap)
-}{
+}
+
+var suite = []suiteDef{
 	{"Table1Sort/n=64", func(b *testing.B, sim simMap) {
 		var e *orthotrees.Experiment
 		var err error

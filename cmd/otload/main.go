@@ -12,6 +12,13 @@
 //	otload -alg cc -n 64 -deadline 200    # cc jobs with 200ms deadlines
 //	otload -events 3                      # supervised jobs (mid-run faults)
 //	otload -json                          # machine-readable summary
+//
+// -session switches to the streamed-session replay: check out one
+// /sessions session, stream -batches update batches of -batchsize
+// generated updates through it (pixel flips with -grid, edge toggles
+// otherwise), and print per-batch round-trip latency percentiles:
+//
+//	otload -session -n 256 -grid -packed -batches 64 -batchsize 4
 package main
 
 import (
@@ -42,7 +49,47 @@ func main() {
 	deadline := flag.Int64("deadline", 0, "per-job deadline, ms (0 = none)")
 	jsonOut := flag.Bool("json", false, "print the summary as JSON")
 	minOK := flag.Int("minok", 0, "exit 1 unless at least this many jobs completed")
+	session := flag.Bool("session", false, "replay one streamed session instead of open-loop jobs")
+	grid := flag.Bool("grid", false, "session: pixel-image workload (n must be a perfect square)")
+	packed := flag.Bool("packed", false, "session: run on the machine-free packed engine")
+	batches := flag.Int("batches", 32, "session: update batches to stream")
+	batchSize := flag.Int("batchsize", 4, "session: generated updates per batch")
 	flag.Parse()
+
+	if *session {
+		ev := 0
+		if *events > 0 {
+			ev = *events
+		}
+		sum, err := loadgen.RunSession(loadgen.SessionOptions{
+			URL: *url,
+			Spec: server.SessionSpec{
+				N: *n, Seed: *seed, Network: *network, Model: *model,
+				Packed: *packed, Grid: *grid, Faults: *faults, Events: ev,
+			},
+			Batches: *batches, BatchSize: *batchSize,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "otload: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(sum)
+		} else {
+			fmt.Print(sum.Text())
+		}
+		if sum.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "otload: %d batches failed\n", sum.Failed)
+			os.Exit(1)
+		}
+		if sum.Batches < *minOK {
+			fmt.Fprintf(os.Stderr, "otload: only %d batches completed, need %d\n", sum.Batches, *minOK)
+			os.Exit(1)
+		}
+		return
+	}
 
 	job := server.Job{
 		Alg: *alg, Network: *network, Model: *model, N: *n, Seed: *seed,

@@ -16,6 +16,15 @@
 //	curl -s localhost:8080/jobs -d '{"alg":"cc","n":1024,"seed":1,"packed":true}'
 //	curl -s localhost:8080/metrics
 //
+// Streamed sessions hold a machine (or packed engine) across update
+// batches so labels are maintained incrementally instead of recomputed
+// per request:
+//
+//	otserve -maxsessions 16 -sessionttl 5m
+//	curl -s localhost:8080/sessions -d '{"n":256,"seed":1,"grid":true,"packed":true}'
+//	curl -s localhost:8080/sessions/s-1/updates -d '{"count":4}'
+//	curl -s -X DELETE localhost:8080/sessions/s-1
+//
 // Healthy Boolean jobs may set "packed": true to run on the machine-
 // free bit-packed engine: the report is byte-identical to the scalar
 // path's, no machine is checked out, and the size bound rises to
@@ -53,6 +62,8 @@ func main() {
 	breakerMax := flag.Duration("breakermax", 16*time.Second, "breaker backoff cap")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to finish in-flight jobs on SIGTERM")
 	leakcheck := flag.Bool("leakcheck", false, "after drain, fail (exit 3) if goroutines leaked")
+	maxSessions := flag.Int("maxsessions", 0, "resident streamed-session cap (0 = 2×workers)")
+	sessionTTL := flag.Duration("sessionttl", 2*time.Minute, "idle streamed sessions are evicted after this long")
 	flag.Parse()
 
 	baseline := runtime.NumGoroutine()
@@ -61,6 +72,7 @@ func main() {
 		Workers: *workers, QueueCap: *queue, MaxLanes: *lanes, CacheCap: *cachecap,
 		Rate: *rate, Burst: *burst,
 		BreakerThreshold: *breaker, BreakerBase: *breakerBase, BreakerMax: *breakerMax,
+		MaxSessions: *maxSessions, SessionTTL: *sessionTTL,
 	})
 	httpSrv := &http.Server{Handler: srv}
 

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func labelsEqual(t *testing.T, got, want []int64, ctx string) {
+	t.Helper()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: label[%d] = %d, want %d (got %v want %v)", ctx, v, got[v], want[v], got, want)
+		}
+	}
+}
+
+// The incremental design rests on CONNECT being canonical: every
+// component's label converges to its minimum vertex (the minimum root
+// always survives the mutual-pair hook resolution), so labels are a
+// pure function of the graph, not of the recompute history.
+func TestConnectedComponentsCanonical(t *testing.T) {
+	r := workload.NewRNG(21)
+	for trial := 0; trial < 8; trial++ {
+		g := r.Gnp(16, 0.12)
+		m := machine(t, 16)
+		LoadGraph(m, g)
+		labels, _ := ConnectedComponents(m, 0)
+		labelsEqual(t, labels, RefComponents(g), "canonical")
+	}
+}
+
+func TestIncrementalMatchesOracle(t *testing.T) {
+	const n = 32
+	r := workload.NewRNG(31)
+	g := r.Gnp(n, 0.08)
+	o := workload.NewOracle(g)
+	m := machine(t, n)
+	inc, t0 := NewIncremental(m, g, 0)
+	if t0 <= 0 {
+		t.Fatal("initial labeling took no time")
+	}
+	labelsEqual(t, inc.Labels(), o.Labels(), "initial")
+	stream := r.Gnp(n, 0.08) // shadow graph the batch generator toggles
+	for i := range stream.Adj {
+		copy(stream.Adj[i], g.Adj[i])
+	}
+	tPrev := t0
+	for step := 0; step < 40; step++ {
+		batch := r.UpdateBatch(stream, 1+r.Intn(4))
+		o.Apply(batch)
+		labels, tDone := inc.ApplyBatch(batch, tPrev)
+		if tDone < tPrev {
+			t.Fatalf("step %d: time went backwards", step)
+		}
+		tPrev = tDone
+		labelsEqual(t, labels, o.Labels(), "after batch")
+
+		// Bit-identical to a from-scratch recompute of the same graph.
+		m2 := machine(t, n)
+		LoadGraph(m2, inc.Graph())
+		full, _ := ConnectedComponents(m2, 0)
+		labelsEqual(t, labels, full, "vs full recompute")
+	}
+}
+
+func TestIncrementalPixelStream(t *testing.T) {
+	const side = 8
+	r := workload.NewRNG(5)
+	im := r.RandomImage(side, side, 0.5)
+	g := im.Graph()
+	o := workload.NewOracle(g)
+	m := machine(t, side*side)
+	inc, tPrev := NewIncremental(m, g, 0)
+	for step := 0; step < 30; step++ {
+		batch := r.PixelBatch(im, 1)
+		o.Apply(batch)
+		var labels []int64
+		labels, tPrev = inc.ApplyBatch(batch, tPrev)
+		labelsEqual(t, labels, o.Labels(), "pixel stream")
+	}
+}
+
+func TestIncrementalNoopBatches(t *testing.T) {
+	g := workload.NewGraph(8)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	m := machine(t, 8)
+	inc, t0 := NewIncremental(m, g, 0)
+
+	// Intra-component insertion: no label can change, S stays empty
+	// and the batch costs exactly the apply step.
+	labels, t1 := inc.ApplyBatch([]workload.EdgeUpdate{{U: 0, V: 2, Add: true}}, t0)
+	if st := inc.Stats(); st.Affected != 0 || st.Rounds != 0 {
+		t.Fatalf("intra-component insert ran a recompute: %+v", st)
+	}
+	if want := m.Local(t0, m.CostCompare()); t1 != want {
+		t.Fatalf("no-op batch time %d, want apply-only %d", t1, want)
+	}
+	labelsEqual(t, labels, []int64{0, 0, 0, 3, 4, 5, 6, 7}, "intra insert")
+
+	// A batch that cancels itself (add then delete the same edge) nets
+	// to nothing.
+	labels, _ = inc.ApplyBatch([]workload.EdgeUpdate{
+		{U: 4, V: 5, Add: true}, {U: 4, V: 5, Add: false},
+	}, t1)
+	if st := inc.Stats(); st.Changed != 0 || st.Affected != 0 {
+		t.Fatalf("self-cancelling batch reported changes: %+v", st)
+	}
+	labelsEqual(t, labels, []int64{0, 0, 0, 3, 4, 5, 6, 7}, "cancelled batch")
+}
+
+func TestIncrementalDeleteSplitsComponent(t *testing.T) {
+	// Path 0-1-2-3; deleting 1-2 must split into {0,1} and {2,3}.
+	g := workload.NewGraph(8)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	m := machine(t, 8)
+	inc, t0 := NewIncremental(m, g, 0)
+	labels, _ := inc.ApplyBatch([]workload.EdgeUpdate{{U: 1, V: 2, Add: false}}, t0)
+	labelsEqual(t, labels, []int64{0, 0, 2, 2, 4, 5, 6, 7}, "split")
+	if st := inc.Stats(); st.Affected != 4 {
+		t.Fatalf("affected = %d, want the 4 path vertices", st.Affected)
+	}
+}
+
+// A single-pixel update in a large sparse image must cost far less
+// simulated time than the initial full labeling.
+func TestIncrementalCheaperThanRecompute(t *testing.T) {
+	const side = 16
+	r := workload.NewRNG(9)
+	im := r.RandomImage(side, side, 0.5)
+	g := im.Graph()
+	m := machine(t, side*side)
+	inc, t0 := NewIncremental(m, g, 0)
+	batch := im.Flip(r.Intn(side * side))
+	_, t1 := inc.ApplyBatch(batch, t0)
+	if cost := t1 - t0; cost >= t0/2 {
+		t.Fatalf("single-flip batch cost %d, not clearly cheaper than full labeling %d", cost, t0)
+	}
+}
+
+// Replaying the same batch after a host+machine rollback reproduces
+// the labels and the completion time exactly — the property the
+// recovery supervisor depends on.
+func TestIncrementalSnapshotReplay(t *testing.T) {
+	const n = 16
+	r := workload.NewRNG(13)
+	g := r.Gnp(n, 0.15)
+	m := machine(t, n)
+	inc, t0 := NewIncremental(m, g, 0)
+	stream := workload.NewGraph(n)
+	for i := range stream.Adj {
+		copy(stream.Adj[i], g.Adj[i])
+	}
+	batch := r.UpdateBatch(stream, 6)
+
+	msnap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsnap := inc.HostSnapshot()
+	labels1, t1 := inc.ApplyBatch(batch, t0)
+
+	if err := m.Restore(msnap); err != nil {
+		t.Fatal(err)
+	}
+	inc.HostRestore(hsnap)
+	labels2, t2 := inc.ApplyBatch(batch, t0)
+
+	if t1 != t2 {
+		t.Fatalf("replayed batch time %d != %d", t2, t1)
+	}
+	labelsEqual(t, labels2, labels1, "replay")
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIncrementalStudySmall runs a tiny sweep end-to-end. The study
+// itself verifies label bit-identity against a full recompute after
+// every batch (it errors out on any mismatch), so a clean return is
+// already the correctness check; here we additionally pin the sweep's
+// shape and the sanity of the reported costs.
+func TestIncrementalStudySmall(t *testing.T) {
+	s, err := IncrementalStudy([]int{16}, []int{1, 4}, 3, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (1 size × 2 batch sizes)", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.N != 16 || p.Side != 4 || p.Steps != 3 {
+			t.Fatalf("point shape wrong: %+v", p)
+		}
+		if p.Recompute <= 0 {
+			t.Fatalf("batch=%d: recompute cost %d, want > 0", p.Batch, p.Recompute)
+		}
+		if p.Incremental < 0 {
+			t.Fatalf("batch=%d: incremental cost %d, want >= 0", p.Batch, p.Incremental)
+		}
+	}
+}
+
+// TestIncrementalStudyDeterministic pins seed-reproducibility: two
+// runs with the same seed must agree point for point.
+func TestIncrementalStudyDeterministic(t *testing.T) {
+	a, err := IncrementalStudy([]int{16, 64}, []int{1, 4}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IncrementalStudy([]int{16, 64}, []int{1, 4}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across identical runs:\n%+v\n%+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+// TestIncrementalStudyRejects pins the input contract: non-square
+// sizes and non-positive step counts are errors, not panics.
+func TestIncrementalStudyRejects(t *testing.T) {
+	if _, err := IncrementalStudy([]int{12}, []int{1}, 2, 1); err == nil {
+		t.Fatal("non-square size accepted")
+	}
+	if _, err := IncrementalStudy([]int{16}, []int{1}, 0, 1); err == nil {
+		t.Fatal("steps=0 accepted")
+	}
+}
+
+func TestIncrementalStudyRender(t *testing.T) {
+	s, err := IncrementalStudy([]int{16}, []int{1}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := s.Render()
+	if !strings.Contains(txt, "incremental streaming labeling") || !strings.Contains(txt, "bit-identical") {
+		t.Fatalf("text render missing expected content:\n%s", txt)
+	}
+	md := s.Markdown()
+	if !strings.Contains(md, "| N | grid | batch |") {
+		t.Fatalf("markdown render missing table header:\n%s", md)
+	}
+}

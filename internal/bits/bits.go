@@ -138,6 +138,22 @@ func ForEach(row []uint64, f func(j int)) {
 	}
 }
 
+// ForEachMasked calls f(j) for every set bit j of row ∧ mask,
+// ascending, visiting only the word indices listed in words — the
+// dirty-word sweep of the incremental packed engine: words holds the
+// non-zero word indices of mask, so a row scan costs O(dirty words +
+// surviving popcount) regardless of the row's full width.
+func ForEachMasked(row, mask []uint64, words []int, f func(j int)) {
+	for _, wi := range words {
+		w := row[wi] & mask[wi]
+		base := wi * WordBits
+		for w != 0 {
+			f(base + mathbits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // NextSet returns the first set bit ≥ from in the row, or -1 when no
 // such bit exists.
 func NextSet(row []uint64, from int) int {

@@ -179,3 +179,44 @@ func TestPackRowMatchesScalarOr(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachMasked(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		row := make([]uint64, Words(n))
+		mask := make([]uint64, Words(n))
+		inMask := make([]bool, n)
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				row[j/WordBits] |= 1 << (j % WordBits)
+			}
+			if rng.Intn(4) == 0 {
+				mask[j/WordBits] |= 1 << (j % WordBits)
+				inMask[j] = true
+			}
+		}
+		var words []int
+		for wi, w := range mask {
+			if w != 0 {
+				words = append(words, wi)
+			}
+		}
+		var got []int
+		ForEachMasked(row, mask, words, func(j int) { got = append(got, j) })
+		var want []int
+		ForEach(row, func(j int) {
+			if inMask[j] {
+				want = append(want, j)
+			}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d masked bits, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: bit %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

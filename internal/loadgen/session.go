@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+// SessionOptions configures one streamed-session replay: check out a
+// session, stream Batches server-generated update batches through it,
+// close it, and report what each round trip cost. Unlike Run's
+// open-loop schedule this is closed-loop — batch k+1 is not sent until
+// batch k's report is back — because a session serializes its batches
+// anyway and the interesting number is the per-batch service latency.
+type SessionOptions struct {
+	// URL is the server base URL (e.g. http://localhost:8080).
+	URL string
+	// Spec is the session checkout body sent to POST /sessions.
+	Spec server.SessionSpec
+	// Batches is the number of update batches to stream (default 32).
+	Batches int
+	// BatchSize is the generated updates per batch — pixel flips for
+	// grid sessions, edge toggles otherwise (default 4).
+	BatchSize int
+	// Client is the X-Client-ID header (default "session").
+	Client string
+	// HTTPClient overrides the transport (tests); nil uses a 30s
+	// safety timeout.
+	HTTPClient *http.Client
+}
+
+// SessionSummary is the reduced result of a session replay.
+type SessionSummary struct {
+	SessionID string `json:"session_id"`
+
+	Batches int `json:"batches"`
+	Failed  int `json:"failed"`
+
+	// Updates and Affected total the per-batch report fields: edge
+	// updates applied and vertices the restricted recompute relabeled.
+	Updates  int `json:"updates"`
+	Affected int `json:"affected"`
+
+	// Components is the final report's component count; SimTime the
+	// final session clock in simulated bit-times.
+	Components int   `json:"components"`
+	SimTime    int64 `json:"sim_time_bits"`
+
+	// Per-batch round-trip latency percentiles, ms.
+	P50ms float64 `json:"p50_ms"`
+	P90ms float64 `json:"p90_ms"`
+	P99ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	// CheckoutMs is the session-creation round trip (machine build +
+	// initial labeling), the cost the later batches amortize.
+	CheckoutMs float64 `json:"checkout_ms"`
+}
+
+// RunSession replays one streamed session end to end.
+func RunSession(o SessionOptions) (*SessionSummary, error) {
+	if o.Batches <= 0 {
+		o.Batches = 32
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4
+	}
+	if o.Client == "" {
+		o.Client = "session"
+	}
+	client := o.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	base := strings.TrimRight(o.URL, "/")
+
+	t0 := time.Now()
+	rep, status, err := postSession(client, base+"/sessions", o.Client, &o.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("checkout: %w", err)
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("checkout: HTTP %d", status)
+	}
+	s := &SessionSummary{
+		SessionID:  rep.SessionID,
+		CheckoutMs: float64(time.Since(t0)) / float64(time.Millisecond),
+		Components: rep.Components,
+		SimTime:    rep.HealthyTime,
+	}
+
+	var lat []time.Duration
+	body := map[string]int{"count": o.BatchSize}
+	for i := 0; i < o.Batches; i++ {
+		bt := time.Now()
+		rep, status, err = postSession(client, base+"/sessions/"+s.SessionID+"/updates", o.Client, body)
+		if err != nil {
+			return nil, fmt.Errorf("batch %d: %w", i+1, err)
+		}
+		if status != http.StatusOK {
+			s.Failed++
+			continue
+		}
+		lat = append(lat, time.Since(bt))
+		s.Batches++
+		s.Updates += rep.Updates
+		s.Affected += rep.Affected
+		s.Components = rep.Components
+		s.SimTime = rep.HealthyTime
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/"+s.SessionID, nil)
+	if resp, derr := client.Do(req); derr == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(lat)-1))
+			return float64(lat[i]) / float64(time.Millisecond)
+		}
+		s.P50ms, s.P90ms, s.P99ms = pct(0.50), pct(0.90), pct(0.99)
+		s.MaxMs = float64(lat[len(lat)-1]) / float64(time.Millisecond)
+	}
+	return s, nil
+}
+
+// postSession fires one session-API request and decodes the report.
+func postSession(client *http.Client, url, clientID string, body any) (*report.Report, int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var rep report.Report
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return nil, resp.StatusCode, fmt.Errorf("bad report: %w", err)
+		}
+	}
+	return &rep, resp.StatusCode, nil
+}
+
+// Text renders the summary as the otload console block.
+func (s *SessionSummary) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "session %s: %d batches ok, %d failed, %d updates (%d vertices relabeled)\n",
+		s.SessionID, s.Batches, s.Failed, s.Updates, s.Affected)
+	fmt.Fprintf(&b, "  final: %d components at simulated time %d bit-times\n", s.Components, s.SimTime)
+	fmt.Fprintf(&b, "  checkout %.2f ms\n", s.CheckoutMs)
+	if s.Batches > 0 {
+		fmt.Fprintf(&b, "  batch latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+			s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
+	}
+	return b.String()
+}

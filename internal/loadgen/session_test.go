@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestRunSession replays a short grid session against an in-process
+// server and checks the summary adds up: every batch lands, the
+// update totals match batches × batch size in pixels flipped (each
+// flip may carry 0..4 edge updates, so only non-negativity is pinned
+// there), and the final component count is present.
+func TestRunSession(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	sum, err := RunSession(SessionOptions{
+		URL:     ts.URL,
+		Spec:    server.SessionSpec{N: 16, Seed: 3, Grid: true, Packed: true},
+		Batches: 5, BatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SessionID == "" {
+		t.Fatal("no session ID in summary")
+	}
+	if sum.Batches != 5 || sum.Failed != 0 {
+		t.Fatalf("batches %d failed %d, want 5/0", sum.Batches, sum.Failed)
+	}
+	if sum.Updates < 0 || sum.Affected < 0 {
+		t.Fatalf("negative totals: %+v", sum)
+	}
+	if sum.Components <= 0 {
+		t.Fatalf("final components %d, want > 0", sum.Components)
+	}
+	if sum.SimTime <= 0 {
+		t.Fatalf("final simulated time %d, want > 0", sum.SimTime)
+	}
+	if sum.Text() == "" {
+		t.Fatal("empty text render")
+	}
+
+	// The session was deleted on the way out; the server should hold
+	// no resident sessions.
+	if got := srv.Metrics().SessionsActive; got != 0 {
+		t.Fatalf("sessions still resident after replay: %d", got)
+	}
+}

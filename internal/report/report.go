@@ -46,6 +46,20 @@ type Report struct {
 	// never appears in otsim output and is excluded from equivalence
 	// comparisons (see Same).
 	JobID string `json:"job_id,omitempty"`
+
+	// Streamed sessions (otserve /sessions): SessionID names the
+	// session (transport metadata, excluded from Same like JobID);
+	// Batch is the 1-based update batch index, 0 on the checkout
+	// report; Updates/Affected/Components describe the batch — edge
+	// updates applied, vertices relabeled by the restricted recompute,
+	// and distinct component labels after the batch. On session
+	// reports Time is the simulated duration of the batch itself and
+	// HealthyTime carries the session clock at completion.
+	SessionID  string `json:"session_id,omitempty"`
+	Batch      int    `json:"batch,omitempty"`
+	Updates    int    `json:"updates,omitempty"`
+	Affected   int    `json:"affected,omitempty"`
+	Components int    `json:"components,omitempty"`
 }
 
 // Health flattens the fault/recovery ledger (fault.Health) for the
@@ -104,6 +118,7 @@ func (r *Report) Same(o *Report) bool {
 	}
 	a, b := *r, *o
 	a.JobID, b.JobID = "", ""
+	a.SessionID, b.SessionID = "", ""
 	ah, bh := a.Health, b.Health
 	a.Health, b.Health = nil, nil
 	a.Correct, b.Correct = nil, nil

@@ -1,0 +1,43 @@
+package resilience
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms/graph"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// IncrementalBatchProgram decomposes one update batch of a streamed
+// labeling session into a supervised Program: an apply step that
+// folds the batch into the adjacency, then one step per restricted
+// CONNECT round with the engine's own skip gate. The engine's host
+// state (graph shadow, labels, affected set, round counters) rides
+// the Snapshot/Restore hooks, so a rollback triggered by a fault
+// arriving mid-batch rewinds to the last checkpoint and replays the
+// remainder of the batch deterministically — including the apply step
+// itself when the arrival lands inside it. The extractor commits and
+// returns the batch's final labels.
+func IncrementalBatchProgram(inc *graph.Incremental, batch []workload.EdgeUpdate) (*Program, func() []int64) {
+	prog := &Program{
+		Name:     "incremental-batch",
+		Snapshot: inc.HostSnapshot,
+		Restore:  inc.HostRestore,
+	}
+	prog.Steps = append(prog.Steps, Step{
+		Name: "apply-updates",
+		Run: func(rel vlsi.Time) vlsi.Time {
+			return inc.ApplyUpdates(batch, rel)
+		},
+	})
+	for round := 0; round < graph.ComponentsMaxRounds(inc.Machine().K); round++ {
+		round := round
+		prog.Steps = append(prog.Steps, Step{
+			Name: fmt.Sprintf("round-%d", round),
+			Skip: func() bool { return inc.SkipRound(round) },
+			Run:  inc.RoundStep,
+		})
+	}
+	out := func() []int64 { return inc.Commit() }
+	return prog, out
+}

@@ -1,0 +1,200 @@
+package resilience_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/algorithms/graph"
+	"repro/internal/fault"
+	"repro/internal/packed"
+	"repro/internal/resilience"
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// shifted rebuilds a random schedule with every arrival displaced by
+// off — how a session lines fault arrivals up with the simulated
+// clock its update batches have already advanced.
+func shifted(s *fault.Schedule, off vlsi.Time) *fault.Schedule {
+	out := fault.NewSchedule(s.Seed)
+	for _, e := range s.Events {
+		out.Add(e.At+off, e.Site)
+	}
+	return out.Sort()
+}
+
+// TestZeroEventIncrementalBitIdentical pins the free-when-empty
+// contract for the streamed program: a supervised batch under an
+// empty schedule matches the plain ApplyBatch bit for bit.
+func TestZeroEventIncrementalBitIdentical(t *testing.T) {
+	const k = 16
+	r := workload.NewRNG(17)
+	g := r.Gnp(k, 2.0/float64(k))
+	stream := g.Clone()
+	batch := r.UpdateBatch(stream, 5)
+
+	ref := newMachine(t, k)
+	refInc, t0 := graph.NewIncremental(ref, g, 0)
+	want, wantDone := refInc.ApplyBatch(batch, t0)
+
+	m := newMachine(t, k)
+	inc, mt0 := graph.NewIncremental(m, g, 0)
+	if mt0 != t0 {
+		t.Fatalf("initial labeling time %d, ref %d", mt0, t0)
+	}
+	prog, out := resilience.IncrementalBatchProgram(inc, batch)
+	done, err := resilience.Run(m, fault.NewSchedule(1), prog, t0, resilience.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != wantDone {
+		t.Fatalf("zero-event supervised finish %d, plain %d", done, wantDone)
+	}
+	if got := out(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-event supervised labels %v, plain %v", got, want)
+	}
+	if m.Health() != nil {
+		t.Fatalf("zero-event run attached a health ledger: %+v", m.Health())
+	}
+}
+
+// TestIncrementalBatchUnderArrivals drives update batches with dead-
+// edge arrivals striking mid-batch: the rollback must replay the
+// pending batch deterministically and the final labels must still be
+// bit-identical to a full recompute of the updated graph (dead edges
+// degrade routing, never values).
+func TestIncrementalBatchUnderArrivals(t *testing.T) {
+	const k = 16
+	for seed := uint64(1); seed <= 5; seed++ {
+		run := func() ([]int64, vlsi.Time, *fault.Health, *workload.Graph) {
+			r := workload.NewRNG(seed)
+			g := r.Gnp(k, 2.0/float64(k))
+			stream := g.Clone()
+			batch := r.UpdateBatch(stream, 4)
+
+			// Healthy twin measures the batch window for the schedule.
+			ref := newMachine(t, k)
+			refInc, rt0 := graph.NewIncremental(ref, g, 0)
+			_, rt1 := refInc.ApplyBatch(batch, rt0)
+
+			m := newMachine(t, k)
+			inc, t0 := graph.NewIncremental(m, g, 0)
+			prog, out := resilience.IncrementalBatchProgram(inc, batch)
+			sched := shifted(fault.RandomSchedule(k, 2, rt1-rt0, seed), t0)
+			if err := sched.Validate(k, k); err != nil {
+				t.Fatal(err)
+			}
+			done, err := resilience.Run(m, sched, prog, t0, resilience.Options{})
+			if err != nil {
+				t.Skipf("seed %d: unrecoverable double cut: %v", seed, err)
+			}
+			if done < rt1 {
+				t.Fatalf("seed %d: degraded finish %d earlier than healthy %d", seed, done, rt1)
+			}
+			h := m.Health()
+			return out(), done, h, stream
+		}
+
+		labels, done, health, updated := run()
+		want := graph.RefComponents(updated)
+		if !reflect.DeepEqual(labels, want) {
+			t.Fatalf("seed %d: labels %v, reference %v", seed, labels, want)
+		}
+
+		// Determinism: the identical run must reproduce time, labels
+		// and every health counter.
+		labels2, done2, health2, _ := run()
+		if done2 != done || !reflect.DeepEqual(labels2, labels) {
+			t.Fatalf("seed %d: replayed run diverged (%d vs %d)", seed, done2, done)
+		}
+		if !reflect.DeepEqual(health, health2) {
+			t.Fatalf("seed %d: health diverged: %+v vs %+v", seed, health, health2)
+		}
+	}
+}
+
+// FuzzIncrementalDifferential is the satellite fuzz: random update
+// streams × fault-arrival schedules. Scalar supervised labels must
+// equal the full-recompute reference after every batch, the packed
+// incremental engine must stay bit-identical to the scalar path on
+// the healthy prefix, and rerunning the same stream must reproduce
+// every label, time and health counter. Runs under -race in CI.
+func FuzzIncrementalDifferential(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(0), uint8(2))
+	f.Add(uint64(2), uint8(16), uint8(1), uint8(3))
+	f.Add(uint64(5), uint8(4), uint8(2), uint8(1))
+	f.Add(uint64(9), uint8(16), uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, rawN, events, batches uint8) {
+		k := 4 << (int(rawN) % 3) // 4, 8, 16
+		nEvents := int(events) % 3
+		nBatches := 1 + int(batches)%4
+
+		type trace struct {
+			labels []int64
+			done   vlsi.Time
+			health *fault.Health
+			gaveUp bool
+		}
+		run := func() trace {
+			r := workload.NewRNG(seed)
+			g := r.Gnp(k, 2.0/float64(k))
+			stream := g.Clone()
+			o := workload.NewOracle(g)
+
+			m := newMachine(t, k)
+			inc, clock := graph.NewIncremental(m, g, 0)
+
+			// The packed twin shadows the healthy prefix.
+			e, err := packed.EngineFor(k, m.Cfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pInc, pClock := packed.NewIncremental(e, g, 0)
+			if pClock != clock {
+				t.Fatalf("packed initial time %d, scalar %d", pClock, clock)
+			}
+
+			tr := trace{}
+			healthy := true
+			for b := 0; b < nBatches; b++ {
+				batch := r.UpdateBatch(stream, 1+r.Intn(3))
+				o.Apply(batch)
+				prog, out := resilience.IncrementalBatchProgram(inc, batch)
+				var sched *fault.Schedule
+				if nEvents > 0 && b == 0 {
+					sched = shifted(fault.RandomSchedule(k, nEvents, 4*clock+64, seed), clock)
+					healthy = false
+				}
+				done, err := resilience.Run(m, sched, prog, clock, resilience.Options{})
+				if err != nil {
+					tr.gaveUp = true
+					break
+				}
+				labels := out()
+				if want := o.Labels(); !reflect.DeepEqual(labels, want) {
+					t.Fatalf("batch %d: supervised labels %v, oracle %v", b, labels, want)
+				}
+				if healthy {
+					pL, pDone := pInc.ApplyBatch(batch, clock)
+					if pDone != done || !reflect.DeepEqual(pL, labels) {
+						t.Fatalf("batch %d: packed diverged (t %d vs %d)", b, pDone, done)
+					}
+				}
+				clock = done
+				tr.labels, tr.done = labels, done
+			}
+			tr.health = m.Health()
+			return tr
+		}
+
+		first := run()
+		second := run()
+		if first.gaveUp != second.gaveUp || first.done != second.done ||
+			!reflect.DeepEqual(first.labels, second.labels) {
+			t.Fatalf("rerun diverged: %+v vs %+v", first, second)
+		}
+		if !reflect.DeepEqual(first.health, second.health) {
+			t.Fatalf("health diverged: %+v vs %+v", first.health, second.health)
+		}
+	})
+}

@@ -227,9 +227,9 @@ func TestPackedLargeN(t *testing.T) {
 	}
 
 	for _, bad := range []*Job{
-		{Alg: "cc", N: 1024, Seed: 5},                 // scalar path keeps the scalar bound
-		{Alg: "sort", N: 16, Seed: 5, Packed: true},   // packed is Boolean-family only
-		{Alg: "cc", N: 16, Faults: 1, Packed: true},   // degraded runs take the scalar path
+		{Alg: "cc", N: 1024, Seed: 5},                      // scalar path keeps the scalar bound
+		{Alg: "sort", N: 16, Seed: 5, Packed: true},        // packed is Boolean-family only
+		{Alg: "cc", N: 16, Faults: 1, Packed: true},        // degraded runs take the scalar path
 		{Alg: "cc", N: 16, Events: new(int), Packed: true}, // supervised likewise
 	} {
 		if err := bad.Validate(); err == nil {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/mcache"
@@ -34,9 +35,16 @@ type Config struct {
 	// circuit breaker (default 3; < 0 disables). BreakerBase is the
 	// first open interval, doubling per trip up to BreakerMax
 	// (defaults 1s and 16s).
-	BreakerThreshold       int
+	BreakerThreshold        int
 	BreakerBase, BreakerMax time.Duration
-	// Now is the clock used by fairness and the breaker (tests).
+	// MaxSessions bounds concurrently resident streamed-labeling
+	// sessions (default 2 × Workers); SessionTTL evicts sessions idle
+	// longer than this (default 2m). Expiry is lazy — swept on session
+	// and metrics traffic, never by a background goroutine.
+	MaxSessions int
+	SessionTTL  time.Duration
+	// Now is the clock used by fairness, the breaker and session TTLs
+	// (tests).
 	Now func() time.Time
 }
 
@@ -68,6 +76,12 @@ func (c Config) withDefaults() Config {
 	if c.BreakerMax == 0 {
 		c.BreakerMax = 16 * time.Second
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 2 * c.Workers
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 2 * time.Minute
+	}
 	return c
 }
 
@@ -76,12 +90,16 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	cache    *mcache.Cache
+	scache   *mcache.Cache // session machines; separate so sessions never starve job workers
 	executor *Executor
 	fairness *Fairness
 	breaker  *Breaker
 	metrics  *Metrics
 	pool     *Pool
 	mux      *http.ServeMux
+
+	sess         sessionTable
+	sessInflight sync.WaitGroup
 }
 
 // New assembles a started server (workers running, admitting).
@@ -89,13 +107,17 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
 	s.cache = mcache.NewWithCapacity(cfg.CacheCap)
+	s.scache = mcache.NewWithCapacity(cfg.MaxSessions)
 	s.executor = NewExecutor(s.cache)
 	s.fairness = NewFairness(cfg.Rate, cfg.Burst, cfg.Now)
 	s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerBase, cfg.BreakerMax, cfg.Now)
 	s.metrics = NewMetrics()
 	s.pool = NewPool(cfg.Workers, cfg.QueueCap, cfg.MaxLanes, s.executor.RunBatch, s.breaker, s.metrics)
+	s.sess.byID = make(map[string]*Session)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/sessions", s.handleSessions)
+	s.mux.HandleFunc("/sessions/", s.handleSession)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -104,19 +126,25 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Drain executes the shutdown ladder (see Pool.Drain) and returns
-// once every worker has joined or ctx expired.
-func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+// Drain executes the shutdown ladder (see Pool.Drain), then waits for
+// in-flight session requests and releases every session; it returns
+// once everything has joined or ctx expired.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.pool.Drain(ctx)
+	s.drainSessions(ctx.Done())
+	return err
+}
 
 // Metrics returns the current snapshot (also served at /metrics).
 func (s *Server) Metrics() Snapshot {
-	return s.metrics.snapshot(s.cfg.QueueCap, s.cfg.Workers, s.cache, s.breaker)
+	s.expireSessions()
+	return s.metrics.snapshot(s.cfg.QueueCap, s.cfg.Workers, s.cache, s.breaker, s.SessionCount())
 }
 
 // shedError is the JSON body of every non-200 outcome.
 type shedError struct {
 	Error        string `json:"error"`
-	Reason       string `json:"reason"` // queue_full | rate_limited | breaker_open | draining | deadline | invalid | failed
+	Reason       string `json:"reason"` // queue_full | rate_limited | breaker_open | draining | deadline | invalid | failed | sessions_full
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 	JobID        string `json:"job_id,omitempty"`
 }

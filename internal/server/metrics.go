@@ -43,6 +43,13 @@ type Metrics struct {
 	packedJobs  int64 // jobs served by the machine-free packed engine
 	packedBits  int64 // adjacency-row bits those jobs actually used
 	packedSlots int64 // uint64 bit slots those rows occupied
+
+	sessionsCreated  int64 // streamed sessions checked out
+	sessionsExpired  int64 // sessions evicted by the TTL sweep
+	sessionsClosed   int64 // sessions closed by DELETE or drain
+	sessionBatches   int64 // update batches applied across all sessions
+	sessionUpdates   int64 // edge updates those batches carried
+	shedSessionsFull int64 // session creations shed at the capacity gate
 }
 
 // NewMetrics starts the clock.
@@ -94,6 +101,17 @@ type Snapshot struct {
 	PackedJobs      int64   `json:"packed_jobs"`
 	PackedLaneOccup float64 `json:"packed_lane_occupancy"`
 
+	// Streamed-session gauges and counters: how many sessions are
+	// resident right now, lifecycle totals, and the update volume the
+	// incremental engines have absorbed.
+	SessionsActive   int   `json:"sessions_active"`
+	SessionsCreated  int64 `json:"sessions_created"`
+	SessionsExpired  int64 `json:"sessions_expired"`
+	SessionsClosed   int64 `json:"sessions_closed"`
+	SessionBatches   int64 `json:"session_batches"`
+	SessionUpdates   int64 `json:"session_updates"`
+	ShedSessionsFull int64 `json:"shed_sessions_full"`
+
 	MCache struct {
 		Hits    int     `json:"hits"`
 		Misses  int     `json:"misses"`
@@ -113,7 +131,7 @@ type Snapshot struct {
 
 // snapshot assembles the document from the live counters plus the
 // cache and breaker state.
-func (m *Metrics) snapshot(queueCap, workers int, cache *mcache.Cache, br *Breaker) Snapshot {
+func (m *Metrics) snapshot(queueCap, workers int, cache *mcache.Cache, br *Breaker, sessionsActive int) Snapshot {
 	m.mu.Lock()
 	s := Snapshot{
 		UptimeSec: time.Since(m.start).Seconds(),
@@ -126,7 +144,11 @@ func (m *Metrics) snapshot(queueCap, workers int, cache *mcache.Cache, br *Break
 		QueueDepth: m.queueDepth, QueueCap: queueCap,
 		Inflight: m.inflight, Workers: workers,
 		LaneGroups: m.laneGroups, LaneJobs: m.laneJobs, LaneMax: m.laneMax,
-		PackedJobs: m.packedJobs,
+		PackedJobs:      m.packedJobs,
+		SessionsActive:  sessionsActive,
+		SessionsCreated: m.sessionsCreated, SessionsExpired: m.sessionsExpired,
+		SessionsClosed: m.sessionsClosed, SessionBatches: m.sessionBatches,
+		SessionUpdates: m.sessionUpdates, ShedSessionsFull: m.shedSessionsFull,
 	}
 	if m.packedSlots > 0 {
 		s.PackedLaneOccup = float64(m.packedBits) / float64(m.packedSlots)

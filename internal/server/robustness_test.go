@@ -460,8 +460,8 @@ func TestValidation(t *testing.T) {
 	ts := testServer(t, Config{Workers: 1})
 	cases := []*Job{
 		{Alg: "bogus", N: 16},
-		{Alg: "sort", N: 12},            // not a power of two
-		{Alg: "sort", N: 512},           // over MaxN
+		{Alg: "sort", N: 12},  // not a power of two
+		{Alg: "sort", N: 512}, // over MaxN
 		{Alg: "sort", N: 16, Faults: -1},
 		{Alg: "sort", N: 16, DeadlineMS: -5},
 	}

@@ -1,0 +1,94 @@
+package workload
+
+// Oracle is the pure-Go dynamic-connectivity reference: it maintains
+// min-vertex component labels under edge update batches by union-find
+// on insertions and a full rebuild when a batch deletes an edge. It is
+// deliberately simple — it exists as differential ground truth for the
+// incremental machine engines, not as a fast algorithm.
+type Oracle struct {
+	g      *Graph
+	parent []int
+	dirty  bool // an effective deletion happened since the last rebuild
+}
+
+// NewOracle clones g and labels its components.
+func NewOracle(g *Graph) *Oracle {
+	o := &Oracle{g: NewGraph(g.N), parent: make([]int, g.N)}
+	for i := range g.Adj {
+		copy(o.g.Adj[i], g.Adj[i])
+	}
+	o.rebuild()
+	return o
+}
+
+func (o *Oracle) find(v int) int {
+	for o.parent[v] != v {
+		o.parent[v] = o.parent[o.parent[v]]
+		v = o.parent[v]
+	}
+	return v
+}
+
+// union links by smaller root so roots stay component minima.
+func (o *Oracle) union(u, v int) {
+	ru, rv := o.find(u), o.find(v)
+	if ru == rv {
+		return
+	}
+	if ru > rv {
+		ru, rv = rv, ru
+	}
+	o.parent[rv] = ru
+}
+
+func (o *Oracle) rebuild() {
+	for v := range o.parent {
+		o.parent[v] = v
+	}
+	for u := 0; u < o.g.N; u++ {
+		for v := u + 1; v < o.g.N; v++ {
+			if o.g.Adj[u][v] {
+				o.union(u, v)
+			}
+		}
+	}
+	o.dirty = false
+}
+
+// Apply folds one update batch into the oracle's graph. Insertions
+// union incrementally; any effective deletion marks the structure
+// dirty so Labels rebuilds from scratch.
+func (o *Oracle) Apply(batch []EdgeUpdate) {
+	for _, up := range batch {
+		if up.U == up.V {
+			continue
+		}
+		if up.Add {
+			if !o.g.Adj[up.U][up.V] {
+				o.g.AddEdge(up.U, up.V)
+				if !o.dirty {
+					o.union(up.U, up.V)
+				}
+			}
+		} else if o.g.Adj[up.U][up.V] {
+			o.g.Adj[up.U][up.V] = false
+			o.g.Adj[up.V][up.U] = false
+			o.dirty = true
+		}
+	}
+}
+
+// Labels returns the current min-vertex label of every vertex.
+func (o *Oracle) Labels() []int64 {
+	if o.dirty {
+		o.rebuild()
+	}
+	out := make([]int64, o.g.N)
+	for v := range out {
+		out[v] = int64(o.find(v))
+	}
+	return out
+}
+
+// Graph returns the oracle's current graph (shared, do not mutate).
+func (o *Oracle) Graph() *Graph { return o.g }

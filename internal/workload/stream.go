@@ -1,0 +1,131 @@
+package workload
+
+// EdgeUpdate is one element of a streamed update batch: insert (Add)
+// or delete the undirected edge {U, V}. Self-loops are never emitted
+// by the generators and are ignored by every consumer.
+type EdgeUpdate struct {
+	U, V int
+	Add  bool
+}
+
+// UpdateBatch draws k random edge toggles against g and applies them
+// to g, which acts as the stream's shadow state: an absent edge
+// becomes an insertion, a present one a deletion. The returned slice
+// is the batch in arrival order; replaying it against a copy of the
+// pre-batch graph reproduces g exactly.
+func (r *RNG) UpdateBatch(g *Graph, k int) []EdgeUpdate {
+	batch := make([]EdgeUpdate, 0, k)
+	for len(batch) < k {
+		u := r.Intn(g.N)
+		v := r.Intn(g.N)
+		if u == v {
+			continue
+		}
+		up := EdgeUpdate{U: u, V: v, Add: !g.HasEdge(u, v)}
+		if up.Add {
+			g.AddEdge(u, v)
+		} else {
+			g.Adj[u][v] = false
+			g.Adj[v][u] = false
+		}
+		batch = append(batch, up)
+	}
+	return batch
+}
+
+// Image is a binary pixel image on an R×C grid — the mesh-native
+// component-labeling workload from Stout's paper. Components are
+// 4-connected runs of on-pixels; the derived graph has one vertex per
+// pixel and edges only between adjacent on-pixels, so off-pixels are
+// isolated vertices.
+type Image struct {
+	R, C int
+	On   []bool // row-major, len R*C
+}
+
+// NewImage returns an all-off image.
+func NewImage(r, c int) *Image {
+	return &Image{R: r, C: c, On: make([]bool, r*c)}
+}
+
+// RandomImage returns an r×c image where each pixel is on with
+// probability p. Below the site-percolation threshold (~0.59 on the
+// square lattice) components stay small, which is the regime the
+// incremental engine exploits.
+func (r *RNG) RandomImage(rows, cols int, p float64) *Image {
+	im := NewImage(rows, cols)
+	for i := range im.On {
+		im.On[i] = r.Float64() < p
+	}
+	return im
+}
+
+// Graph returns the 4-adjacency graph of the image's on-pixels.
+func (im *Image) Graph() *Graph {
+	g := NewGraph(im.R * im.C)
+	for i := 0; i < im.R; i++ {
+		for j := 0; j < im.C; j++ {
+			v := i*im.C + j
+			if !im.On[v] {
+				continue
+			}
+			if j+1 < im.C && im.On[v+1] {
+				g.AddEdge(v, v+1)
+			}
+			if i+1 < im.R && im.On[v+im.C] {
+				g.AddEdge(v, v+im.C)
+			}
+		}
+	}
+	return g
+}
+
+// Flip toggles pixel p and returns the edge updates that transform the
+// pre-flip adjacency graph into the post-flip one: turning a pixel on
+// inserts edges to every on 4-neighbour, turning it off deletes them.
+func (im *Image) Flip(p int) []EdgeUpdate {
+	im.On[p] = !im.On[p]
+	add := im.On[p]
+	i, j := p/im.C, p%im.C
+	var batch []EdgeUpdate
+	emit := func(q int) {
+		if im.On[q] {
+			batch = append(batch, EdgeUpdate{U: p, V: q, Add: add})
+		}
+	}
+	if j > 0 {
+		emit(p - 1)
+	}
+	if j+1 < im.C {
+		emit(p + 1)
+	}
+	if i > 0 {
+		emit(p - im.C)
+	}
+	if i+1 < im.R {
+		emit(p + im.C)
+	}
+	return batch
+}
+
+// PixelBatch flips k distinct random pixels of im and returns the
+// concatenated edge updates (possibly empty, when every flipped pixel
+// is isolated). im is mutated; the batch replayed against the
+// pre-batch graph reproduces im.Graph().
+func (r *RNG) PixelBatch(im *Image, k int) []EdgeUpdate {
+	n := im.R * im.C
+	if k > n {
+		k = n
+	}
+	var batch []EdgeUpdate
+	seen := make(map[int]bool, k)
+	for len(seen) < k {
+		p := r.Intn(n)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		batch = append(batch, im.Flip(p)...)
+	}
+	return batch
+}

@@ -1,0 +1,149 @@
+package workload
+
+import "testing"
+
+// refLabels is an independent min-label BFS, kept deliberately apart
+// from the Oracle's union-find so the two implementations check each
+// other.
+func refLabels(g *Graph) []int64 {
+	out := make([]int64, g.N)
+	for i := range out {
+		out[i] = -1
+	}
+	for s := 0; s < g.N; s++ {
+		if out[s] >= 0 {
+			continue
+		}
+		queue := []int{s}
+		out[s] = int64(s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for u := 0; u < g.N; u++ {
+				if g.Adj[v][u] && out[u] < 0 {
+					out[u] = int64(s)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func cloneGraph(g *Graph) *Graph {
+	c := NewGraph(g.N)
+	for i := range g.Adj {
+		copy(c.Adj[i], g.Adj[i])
+	}
+	return c
+}
+
+func TestUpdateBatchReplayable(t *testing.T) {
+	r := NewRNG(7)
+	g := r.Gnp(24, 0.1)
+	before := cloneGraph(g)
+	batch := r.UpdateBatch(g, 40)
+	if len(batch) != 40 {
+		t.Fatalf("batch len %d, want 40", len(batch))
+	}
+	for _, up := range batch {
+		if up.Add {
+			before.AddEdge(up.U, up.V)
+		} else {
+			before.Adj[up.U][up.V] = false
+			before.Adj[up.V][up.U] = false
+		}
+	}
+	for i := range g.Adj {
+		for j := range g.Adj[i] {
+			if g.Adj[i][j] != before.Adj[i][j] {
+				t.Fatalf("replayed batch diverges at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestOracleMatchesBFS(t *testing.T) {
+	r := NewRNG(11)
+	g := r.Gnp(32, 0.08)
+	o := NewOracle(g)
+	for step := 0; step < 50; step++ {
+		batch := r.UpdateBatch(g, 1+r.Intn(5))
+		o.Apply(batch)
+		want := refLabels(g)
+		got := o.Labels()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("step %d: label[%d] = %d, want %d", step, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestOracleInsertOnlyStaysIncremental(t *testing.T) {
+	g := NewGraph(16)
+	o := NewOracle(g)
+	var batch []EdgeUpdate
+	for v := 0; v+1 < 16; v++ {
+		batch = append(batch, EdgeUpdate{U: v, V: v + 1, Add: true})
+	}
+	o.Apply(batch)
+	if o.dirty {
+		t.Fatal("insert-only batch marked oracle dirty")
+	}
+	for v, l := range o.Labels() {
+		if l != 0 {
+			t.Fatalf("path label[%d] = %d, want 0", v, l)
+		}
+	}
+}
+
+func TestImageFlipMatchesGraph(t *testing.T) {
+	r := NewRNG(3)
+	im := r.RandomImage(8, 8, 0.5)
+	g := im.Graph()
+	for step := 0; step < 200; step++ {
+		p := r.Intn(64)
+		for _, up := range im.Flip(p) {
+			if up.Add {
+				g.AddEdge(up.U, up.V)
+			} else {
+				g.Adj[up.U][up.V] = false
+				g.Adj[up.V][up.U] = false
+			}
+		}
+		fresh := im.Graph()
+		for i := range g.Adj {
+			for j := range g.Adj[i] {
+				if g.Adj[i][j] != fresh.Adj[i][j] {
+					t.Fatalf("step %d: flip updates diverge from Graph() at (%d,%d)", step, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPixelBatchReplayable(t *testing.T) {
+	r := NewRNG(5)
+	im := r.RandomImage(8, 8, 0.5)
+	g := im.Graph()
+	for step := 0; step < 20; step++ {
+		batch := r.PixelBatch(im, 1+r.Intn(6))
+		for _, up := range batch {
+			if up.Add {
+				g.AddEdge(up.U, up.V)
+			} else {
+				g.Adj[up.U][up.V] = false
+				g.Adj[up.V][up.U] = false
+			}
+		}
+		fresh := im.Graph()
+		for i := range g.Adj {
+			for j := range g.Adj[i] {
+				if g.Adj[i][j] != fresh.Adj[i][j] {
+					t.Fatalf("step %d: pixel batch diverges at (%d,%d)", step, i, j)
+				}
+			}
+		}
+	}
+}

@@ -120,6 +120,15 @@ func (g *Graph) AddEdge(u, v int) {
 	g.Adj[v][u] = true
 }
 
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.N)
+	for i := range g.Adj {
+		copy(c.Adj[i], g.Adj[i])
+	}
+	return c
+}
+
 // HasEdge reports whether {u, v} is present.
 func (g *Graph) HasEdge(u, v int) bool { return g.Adj[u][v] }
 

@@ -134,6 +134,10 @@ type (
 	// SORT-OTN and CONNECTED-COMPONENTS versus the number of mid-run
 	// fault arrivals, with itemized checkpoint/rollback costs.
 	RecoverySweep = analysis.RecoverySweep
+	// IncrementalSweep is the streamed-labeling experiment: simulated
+	// cost of the incremental CONNECT engine versus a full recompute
+	// across batch sizes and grid sizes (see IncrementalStudy).
+	IncrementalSweep = analysis.IncrementalSweep
 	// Batch executes B independent program instances on one OTN's
 	// routing fabric at once (see NewBatch).
 	Batch = core.Batch
@@ -282,6 +286,15 @@ func SamePartition(a, b []int64) bool { return graph.SamePartition(a, b) }
 // points are bit-identical to the healthy baselines.
 func RecoverySweepStudy(n, maxEvents int, seed uint64) (*RecoverySweep, error) {
 	return analysis.RecoverySweepStudy(n, maxEvents, seed)
+}
+
+// IncrementalStudy sweeps batch size × grid size on the packed
+// incremental labeling engine: each cell streams `steps` pixel-flip
+// batches, checks the maintained labels bit-identical to a full packed
+// recompute after every batch, and reports the mean simulated cost of
+// both strategies and their ratio.
+func IncrementalStudy(ns, batches []int, steps int, seed uint64) (*IncrementalSweep, error) {
+	return analysis.IncrementalStudy(ns, batches, steps, seed)
 }
 
 // Sort runs procedure SORT-OTN (Section II-B): the K numbers xs enter

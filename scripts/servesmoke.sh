@@ -8,7 +8,10 @@
 #   3. drive it past capacity with otload, including a flooding client
 #      the fairness layer must isolate — otload exits non-zero on any
 #      transport error or 5xx, and unless enough jobs completed
-#   4. SIGTERM otserve and propagate its exit code: 0 means the drain
+#   4. replay two streamed sessions end to end (packed pixel grid, then
+#      scalar with supervised fault arrivals) — every update batch must
+#      come back as a 200 report
+#   5. SIGTERM otserve and propagate its exit code: 0 means the drain
 #      finished every admitted job AND the goroutine count returned to
 #      the pre-server baseline (2 = drain failure, 3 = leak)
 set -e
@@ -52,6 +55,14 @@ echo "servesmoke: otserve up at $ADDR"
 echo "servesmoke: offered load 300/s for 2s + flooding client (capacity ~2 workers)"
 "$TMP/otload" -url "http://$ADDR" -rate 300 -duration 2s -arrival bursty \
     -misbehave -n 16 -minok 50
+
+echo "servesmoke: streamed session (grid, packed, 16 batches)"
+"$TMP/otload" -url "http://$ADDR" -session -n 256 -grid -packed \
+    -batches 16 -batchsize 4 -minok 16
+
+echo "servesmoke: streamed session (scalar, supervised arrivals)"
+"$TMP/otload" -url "http://$ADDR" -session -n 16 -events 2 \
+    -batches 8 -batchsize 2 -minok 8
 
 echo "servesmoke: SIGTERM -> drain"
 kill -TERM "$SERVE_PID"
