@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked benchincremental servesmoke servesweep ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked benchincremental servesmoke servesweep chaossmoke ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 # fuzz, stale-plan recovery) under the detector by name, so a test
 # rename can't silently drop them.
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/... ./internal/server/... ./internal/bits/... ./internal/packed/...
+	$(GO) test -race ./internal/concurrent/... ./internal/tree/... ./internal/par/... ./internal/core/... ./internal/mcache/... ./internal/fault/... ./internal/resilience/... ./internal/server/... ./internal/bits/... ./internal/packed/... ./internal/journal/...
 	$(GO) test -race -run 'Deterministic|Parallel|Batch|Recovery' ./internal/analysis/... ./internal/algorithms/sorting/...
 	$(GO) test -race -run 'Plan|StalePlans' ./internal/tree/... ./internal/mcache/... ./internal/resilience/...
 	$(GO) test -race -run 'Packed|Fused|Bulk' ./internal/packed/... ./internal/tree/... ./internal/analysis/... ./internal/server/...
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz FuzzScheduleDeterminism -fuzztime 10s ./internal/fault
 	$(GO) test -fuzz FuzzPackedDifferential -fuzztime 15s ./internal/packed
 	$(GO) test -fuzz FuzzIncrementalDifferential -fuzztime 15s ./internal/resilience
+	$(GO) test -fuzz FuzzJournalTornTail -fuzztime 10s ./internal/journal
 
 # Regenerate the committed benchmark baseline (host numbers are
 # environmental; the simulated metrics inside must never change).
@@ -102,9 +103,20 @@ servesmoke:
 servesweep:
 	$(GO) run ./cmd/otbench -servesweep
 
+# Kill-and-recover chaos proof: SIGKILL a race-built journaling
+# otserve at seed-derived points mid-session-stream, restart it on the
+# same journal each time, resubmit the whole keyed batch sequence, and
+# byte-compare the final per-batch reports against an uninterrupted
+# reference run. CHAOS_SEED/CHAOS_ROUNDS/CHAOS_BATCHES tune the
+# schedule (defaults: seed 1, 3 kill-points + the initial kill, 200
+# batches). See scripts/chaossmoke.sh.
+chaossmoke:
+	./scripts/chaossmoke.sh
+
 # The full gate. benchpacked adds ~1s: the packed N=1024 components
 # cell simulates in ~2ms and the whole extended Table III sweep,
 # engine builds included, is sub-second. benchincremental adds a few
 # seconds more: the host-cost entries re-measure under
-# testing.Benchmark at both sizes.
-ci: build vet test race benchsmoke benchpacked benchincremental servesmoke
+# testing.Benchmark at both sizes. chaossmoke adds ~15s: four
+# SIGKILL/recover cycles against the race-built server.
+ci: build vet test race benchsmoke benchpacked benchincremental servesmoke chaossmoke

@@ -1,0 +1,120 @@
+package main
+
+// The journal-recovery benchmark entries.
+//
+// JournalRecovery/n=N/batches=B prices a cold restart of the durable
+// service: one op opens a journal directory holding a crashed session
+// stream (create + B update batches, intents and results, no snapshot)
+// and replays it through the incremental engines until the server is
+// ready to serve. The host ns/op is the recovery-time headline; the
+// simulated metrics gate exactly in -compare:
+//
+//	recovery/records          journal records replayed
+//	recovery/clock-bit-times  recovered session clock
+//	recovery/extra-bit-times  recovered minus uninterrupted clock —
+//	                          pinned at 0: recovery replays charge no
+//	                          additional simulated time
+//
+// The ladder's other end (restoring from a compacted snapshot instead
+// of the WAL tail) is covered by the server tests; this entry prices
+// the worst case, a full-tail replay.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func init() {
+	suite = append(suite, suiteDef{
+		name: "JournalRecovery/n=1024/batches=32",
+		run:  recoveryBench(1024, 32),
+	})
+}
+
+// recoveryBench builds one crashed journal (outside the timer), then
+// measures server.Open over it.
+func recoveryBench(n, batches int) func(b *testing.B, sim simMap) {
+	return func(b *testing.B, sim simMap) {
+		dir, err := os.MkdirTemp("", "otbench-journal-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg := server.Config{Workers: 2, JournalDir: dir, SweepInterval: -1}
+
+		// Seed the journal: a packed grid session streaming `batches`
+		// server-generated batches, then an abrupt close — no drain, no
+		// snapshot, so every record stays in the replay tail.
+		s, err := server.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		sid, _ := postRecovery(b, ts, "/sessions",
+			fmt.Sprintf(`{"n":%d,"seed":7,"grid":true,"packed":true}`, n))
+		var refClock int64
+		for i := 0; i < batches; i++ {
+			_, refClock = postRecovery(b, ts, "/sessions/"+sid+"/updates", `{"count":4}`)
+		}
+		ts.Close()
+		s.Close()
+
+		var replayed, extra int64
+		var clock int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s2, err := server.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := s2.Metrics().Durability
+			ts2 := httptest.NewServer(s2)
+			resp, err := ts2.Client().Get(ts2.URL + "/sessions/" + sid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var info struct {
+				Clock int64 `json:"clock_bit_times"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			ts2.Close()
+			s2.Close()
+			replayed, clock, extra = d.RecordsReplayed, info.Clock, info.Clock-refClock
+		}
+		sim["recovery/records"] = float64(replayed)
+		sim["recovery/clock-bit-times"] = float64(clock)
+		sim["recovery/extra-bit-times"] = float64(extra)
+	}
+}
+
+// postRecovery fires one JSON POST against the bench server and
+// returns the report's session id and clock.
+func postRecovery(b *testing.B, ts *httptest.Server, path, body string) (string, int64) {
+	b.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep struct {
+		SessionID   string `json:"session_id"`
+		HealthyTime int64  `json:"healthy_time"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return rep.SessionID, rep.HealthyTime
+}

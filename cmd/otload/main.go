@@ -19,6 +19,16 @@
 // otherwise), and print per-batch round-trip latency percentiles:
 //
 //	otload -session -n 256 -grid -packed -batches 64 -batchsize 4
+//
+// Against a journaling server (otserve -journal), -retries re-attempts
+// shed and lost requests with jittered backoff honoring Retry-After,
+// attaching an Idempotency-Key to every attempt so retries never
+// double-execute; -sessionid resumes a crash-recovered session, and
+// -keyprefix/-reports let a resubmitted batch sequence be compared
+// byte-for-byte against an uninterrupted reference:
+//
+//	otload -session -keyprefix run1 -keepopen -reports before.ndjson
+//	otload -session -sessionid s-1 -keyprefix run1 -reports after.ndjson
 package main
 
 import (
@@ -54,6 +64,13 @@ func main() {
 	packed := flag.Bool("packed", false, "session: run on the machine-free packed engine")
 	batches := flag.Int("batches", 32, "session: update batches to stream")
 	batchSize := flag.Int("batchsize", 4, "session: generated updates per batch")
+	retries := flag.Int("retries", 0, "re-attempts per request on 429/503 or transport error (Retry-After honored, idempotency keys attached)")
+	sessionID := flag.String("sessionid", "", "session: resume this existing session instead of creating one")
+	startBatch := flag.Int("startbatch", 1, "session: number batches (and idempotency keys) from this index")
+	keyPrefix := flag.String("keyprefix", "", "session: attach Idempotency-Key <prefix>-b<i> to every batch")
+	keepOpen := flag.Bool("keepopen", false, "session: leave the session resident (no DELETE)")
+	think := flag.Duration("think", 0, "session: pause between batches (paces the stream for chaos kills)")
+	reports := flag.String("reports", "", "session: write per-batch reports as NDJSON to this file")
 	flag.Parse()
 
 	if *session {
@@ -68,6 +85,9 @@ func main() {
 				Packed: *packed, Grid: *grid, Faults: *faults, Events: ev,
 			},
 			Batches: *batches, BatchSize: *batchSize,
+			SessionID: *sessionID, StartBatch: *startBatch,
+			KeyPrefix: *keyPrefix, Retries: *retries,
+			KeepOpen: *keepOpen, ReportPath: *reports, Think: *think,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "otload: %v\n", err)
@@ -102,6 +122,7 @@ func main() {
 	sum, err := loadgen.Run(loadgen.Options{
 		URL: *url, Rate: *rate, Duration: *duration, Arrival: *arrival,
 		Clients: *clients, Misbehave: *misbehave, Seed: *seed, Job: job,
+		Retries: *retries,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "otload: %v\n", err)

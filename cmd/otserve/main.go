@@ -11,6 +11,7 @@
 //	otserve -breaker 3                    # trip after 3 class failures
 //	otserve -draintimeout 30s             # SIGTERM → finish in-flight
 //	otserve -leakcheck                    # verify zero leaked goroutines at exit
+//	otserve -journal /var/lib/ot/journal  # crash-safe state: WAL + recovery by replay
 //
 //	curl -s localhost:8080/jobs -d '{"alg":"sort","n":16,"seed":1}'
 //	curl -s localhost:8080/jobs -d '{"alg":"cc","n":1024,"seed":1,"packed":true}'
@@ -64,16 +65,30 @@ func main() {
 	leakcheck := flag.Bool("leakcheck", false, "after drain, fail (exit 3) if goroutines leaked")
 	maxSessions := flag.Int("maxsessions", 0, "resident streamed-session cap (0 = 2×workers)")
 	sessionTTL := flag.Duration("sessionttl", 2*time.Minute, "idle streamed sessions are evicted after this long")
+	journalDir := flag.String("journal", "", "write-ahead journal directory; enables crash recovery by replay")
+	snapshotEvery := flag.Int("snapshotevery", 0, "compact the journal after this many tail records (0 = 256)")
+	sweepInterval := flag.Duration("sweepinterval", 0, "background sweeper period (0 = auto, <0 disables)")
 	flag.Parse()
 
 	baseline := runtime.NumGoroutine()
 
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Workers: *workers, QueueCap: *queue, MaxLanes: *lanes, CacheCap: *cachecap,
 		Rate: *rate, Burst: *burst,
 		BreakerThreshold: *breaker, BreakerBase: *breakerBase, BreakerMax: *breakerMax,
 		MaxSessions: *maxSessions, SessionTTL: *sessionTTL,
+		JournalDir: *journalDir, SnapshotEvery: *snapshotEvery, SweepInterval: *sweepInterval,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otserve: %v\n", err)
+		os.Exit(1)
+	}
+	if *journalDir != "" {
+		if d := srv.Metrics().Durability; d != nil {
+			fmt.Fprintf(os.Stderr, "otserve: journal %s: recovered %d sessions, replayed %d records in %d ms\n",
+				*journalDir, d.SessionsRecovered, d.RecordsReplayed, d.RecoveryMS)
+		}
+	}
 	httpSrv := &http.Server{Handler: srv}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -71,6 +71,25 @@ func NewIncremental(m *core.Machine, g *workload.Graph, rel vlsi.Time) (*Increme
 	}, t
 }
 
+// ResumeIncremental rebuilds an engine around previously committed
+// state: g and labels come from a durable snapshot, the graph is
+// loaded into m, and the labels are adopted as-is instead of being
+// recomputed. No simulated time is charged — the labels were already
+// paid for by the run that produced the snapshot. The caller owns the
+// claim that labels are the canonical labeling of g (recovery asserts
+// it against the union-find oracle).
+func ResumeIncremental(m *core.Machine, g *workload.Graph, labels []int64) *Incremental {
+	gc := g.Clone()
+	LoadGraph(m, gc)
+	d := append([]int64(nil), labels...)
+	return &Incremental{
+		m: m, g: gc, d: d,
+		work: append([]int64(nil), d...),
+		inS:  make([]bool, g.N),
+		converged: true,
+	}
+}
+
 // Machine returns the underlying machine.
 func (inc *Incremental) Machine() *core.Machine { return inc.m }
 

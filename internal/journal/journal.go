@@ -1,0 +1,138 @@
+// Package journal is an append-only, CRC-framed, fsync-batched
+// write-ahead log with snapshot compaction — the durability substrate
+// under otserve's crash recovery. The contract is the classic WAL
+// one, specialised to a fully deterministic workload:
+//
+//   - a mutation is committed iff its record is wholly in the journal;
+//     Append returns only after an fsync covers the record, so an
+//     acknowledged mutation survives SIGKILL,
+//   - a torn tail (the partial record a crash can leave at the end of
+//     the active segment) is detected by frame length/CRC, dropped and
+//     truncated on the next Open — it is never half-applied,
+//   - recovery is replay: the consumer re-applies every committed
+//     record, in order, against the state of the latest snapshot.
+//     Because the simulated machines are deterministic, replay
+//     reconstructs host state bit-for-bit instead of deserialising it,
+//   - snapshot compaction bounds replay: Compact atomically publishes
+//     a consumer-provided state blob (write-temp, fsync, rename) and
+//     rotates to a fresh segment, so recovery replays only the records
+//     since the last snapshot.
+//
+// Concurrent Appends batch their fsyncs (group commit): every record
+// waits for a sync that covers it, but a single fsync acknowledges
+// every record written before it started, so the fsync rate is bounded
+// by the disk, not the request rate.
+//
+// On-disk layout, inside one directory:
+//
+//	wal-<seq>.log    segments of framed records, dense ascending seq
+//	snap-<seq>.json  state snapshot taken when segment <seq> was opened
+//
+// Recovery loads the highest readable snapshot S and replays segments
+// seq ≥ S in order. Files below S are dead and deleted lazily; a crash
+// between the steps of a Compact leaves only dead files, never an
+// inconsistent journal.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// magic opens every frame; a mismatch means the rest of the segment is
+// not a record stream (torn or corrupt) and replay stops there.
+const magic uint32 = 0x4F544A4C // "OTJL"
+
+// headerSize is the fixed frame prefix: magic, payload length, CRC.
+const headerSize = 12
+
+// MaxRecord bounds a single record's payload. A length field above the
+// bound is treated as a torn/corrupt tail rather than an allocation.
+const MaxRecord = 16 << 20
+
+// castagnoli is the CRC-32C table (the polynomial with hardware
+// support on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame encodes one payload as magic|len|crc|payload, appended to dst.
+func frame(dst, payload []byte) []byte {
+	var h [headerSize]byte
+	binary.LittleEndian.PutUint32(h[0:], magic)
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[8:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrame reads one frame from buf. It returns the payload, the
+// total frame size consumed, and ok=false when the buffer holds no
+// complete, well-formed frame at its start — the torn-tail condition.
+// A parse failure is terminal for the stream: nothing after a torn or
+// corrupt frame can be trusted, because record boundaries are framing.
+func parseFrame(buf []byte) (payload []byte, size int, ok bool) {
+	if len(buf) < headerSize {
+		return nil, 0, false
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(buf[4:])
+	if n > MaxRecord || int(n) > len(buf)-headerSize {
+		return nil, 0, false
+	}
+	payload = buf[headerSize : headerSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[8:]) {
+		return nil, 0, false
+	}
+	return payload, headerSize + int(n), true
+}
+
+// scan walks a segment's bytes record by record, calling fn with each
+// committed payload. It returns the clean prefix length — the offset
+// of the first torn or corrupt frame, or len(buf) when the segment is
+// clean — and the number of records delivered.
+func scan(buf []byte, fn func(payload []byte) error) (clean int, records int, err error) {
+	off := 0
+	for off < len(buf) {
+		payload, size, ok := parseFrame(buf[off:])
+		if !ok {
+			return off, records, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, records, err
+			}
+		}
+		off += size
+		records++
+	}
+	return off, records, nil
+}
+
+// Stats is the journal's observability surface, reported by otserve's
+// /metrics durability block.
+type Stats struct {
+	// Segment is the active segment's sequence number; Snapshot the
+	// seq of the snapshot recovery would load (0 = none yet).
+	Segment  uint64 `json:"segment"`
+	Snapshot uint64 `json:"snapshot"`
+	// Records and Bytes count appends since Open (this process).
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Fsyncs is the number of fsync calls those records cost; with
+	// group commit, Records/Fsyncs is the batching factor.
+	Fsyncs int64 `json:"fsync_batches"`
+	// Snapshots counts Compact calls since Open.
+	Snapshots int64 `json:"snapshots"`
+	// TornBytes is the size of the torn tail Open truncated (0 on a
+	// clean open); TailRecords the committed records in segments at or
+	// after the snapshot, i.e. the replay a crash right now would cost.
+	TornBytes   int64 `json:"torn_bytes,omitempty"`
+	TailRecords int64 `json:"tail_records"`
+}
+
+// fileError wraps a path into an error message consistently.
+func fileError(op, path string, err error) error {
+	return fmt.Errorf("journal: %s %s: %w", op, path, err)
+}

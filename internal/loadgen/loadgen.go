@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -48,6 +49,17 @@ type Options struct {
 	Job server.Job
 	// MaxJobs caps the schedule (default 100000).
 	MaxJobs int
+	// Retries is the number of re-attempts after a 429/503 shed or a
+	// transport error (default 0 = fire and forget). Retried requests
+	// honor the server's Retry-After header, back off exponentially
+	// with jitter, and carry an Idempotency-Key on EVERY attempt so a
+	// response the client lost is answered from the server's dedup
+	// table instead of re-executing.
+	Retries int
+	// RunID salts the idempotency keys so runs against a long-lived
+	// journaling server never collide; Run fills in a timestamp when
+	// empty.
+	RunID string
 	// HTTPClient overrides the transport (tests); nil uses a pooled
 	// default with a 30s safety timeout.
 	HTTPClient *http.Client
@@ -60,13 +72,16 @@ type Outcome struct {
 	Reason  string
 	Latency time.Duration
 	Err     error
+	Retries int  // re-attempts this request needed
+	Deduped bool // answered from the server's idempotency table
 }
 
 // ClientStats is the fairness ledger for one client ID.
 type ClientStats struct {
-	Sent int `json:"sent"`
-	OK   int `json:"ok"`
-	Shed int `json:"shed"` // 429s (queue or rate)
+	Sent    int `json:"sent"`
+	OK      int `json:"ok"`
+	Shed    int `json:"shed"`    // 429s (queue or rate)
+	Deduped int `json:"deduped"` // answers served from the idempotency table
 }
 
 // Summary is the reduced result of a run.
@@ -82,6 +97,12 @@ type Summary struct {
 	Invalid   int `json:"invalid_400"`
 	Failed    int `json:"failed_5xx"`
 	Transport int `json:"transport_errors"`
+
+	// Retried totals the re-attempts the run needed; DedupHits counts
+	// the answers the server served from its idempotency table instead
+	// of re-executing (journaling servers only).
+	Retried   int `json:"retried"`
+	DedupHits int `json:"dedup_hits"`
 
 	ShedRate float64 `json:"shed_rate"` // (429+503)/offered
 
@@ -160,6 +181,9 @@ func Run(o Options) (*Summary, error) {
 	if o.Arrival == "" {
 		o.Arrival = "poisson"
 	}
+	if o.RunID == "" {
+		o.RunID = fmt.Sprintf("run-%d", time.Now().UnixNano())
+	}
 	client := o.HTTPClient
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
@@ -180,7 +204,7 @@ func Run(o Options) (*Summary, error) {
 		wg.Add(1)
 		go func(a arrival) {
 			defer wg.Done()
-			outcomes[a.index] = post(client, o.URL, &o.Job, a)
+			outcomes[a.index] = post(client, &o, a)
 		}(a)
 	}
 	wg.Wait()
@@ -188,33 +212,74 @@ func Run(o Options) (*Summary, error) {
 	return reduce(outcomes, elapsed), nil
 }
 
-// post fires one request: the template with per-request identity.
-func post(client *http.Client, base string, tpl *server.Job, a arrival) Outcome {
-	job := *tpl
+// post fires one request — the template with per-request identity —
+// and, when Retries > 0, re-attempts shed (429/503) and transport
+// failures with jittered exponential backoff. Every attempt of a
+// retried request carries the same Idempotency-Key, so an answer the
+// transport lost comes back from the server's dedup table rather than
+// a second execution.
+func post(client *http.Client, o *Options, a arrival) Outcome {
+	job := o.Job
 	job.ID = fmt.Sprintf("req-%d", a.index)
 	job.Client = a.client
-	job.Seed = tpl.Seed + uint64(a.index)
+	job.Seed = o.Job.Seed + uint64(a.index)
+	if o.Retries > 0 {
+		job.IdemKey = fmt.Sprintf("%s-%s-req-%d", o.RunID, a.client, a.index)
+	}
 	body, _ := json.Marshal(&job)
-	t0 := time.Now()
-	resp, err := client.Post(strings.TrimRight(base, "/")+"/jobs", "application/json", bytes.NewReader(body))
-	out := Outcome{Client: a.client, Latency: time.Since(t0)}
-	if err != nil {
-		out.Err = err
-		return out
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	out.Status = resp.StatusCode
-	out.Latency = time.Since(t0)
-	if resp.StatusCode != http.StatusOK {
-		var shed struct {
-			Reason string `json:"reason"`
+	url := strings.TrimRight(o.URL, "/") + "/jobs"
+	jrng := rand.New(rand.NewSource(int64(o.Seed) ^ int64(a.index)))
+
+	var out Outcome
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		req, _ := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if job.IdemKey != "" {
+			req.Header.Set("Idempotency-Key", job.IdemKey)
 		}
-		if json.Unmarshal(raw, &shed) == nil {
-			out.Reason = shed.Reason
+		resp, err := client.Do(req)
+		out = Outcome{Client: a.client, Latency: time.Since(t0), Retries: attempt}
+		var retryAfter time.Duration
+		if err != nil {
+			out.Err = err
+		} else {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			out.Status = resp.StatusCode
+			out.Latency = time.Since(t0)
+			out.Deduped = resp.Header.Get("Idempotent-Replay") == "true"
+			if resp.StatusCode != http.StatusOK {
+				var shed struct {
+					Reason string `json:"reason"`
+				}
+				if json.Unmarshal(raw, &shed) == nil {
+					out.Reason = shed.Reason
+				}
+				if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil {
+					retryAfter = time.Duration(secs) * time.Second
+				}
+			}
+		}
+		retryable := out.Err != nil ||
+			out.Status == http.StatusTooManyRequests ||
+			out.Status == http.StatusServiceUnavailable
+		if !retryable || attempt >= o.Retries {
+			return out
+		}
+		// Honor the server's hint, floored by our own exponential
+		// backoff, with ±50% jitter so retry storms decorrelate.
+		wait := backoff
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		wait = wait/2 + time.Duration(jrng.Int63n(int64(wait)))
+		time.Sleep(wait)
+		if backoff < 2*time.Second {
+			backoff *= 2
 		}
 	}
-	return out
 }
 
 // reduce folds outcomes into the summary.
@@ -234,6 +299,11 @@ func reduce(outcomes []Outcome, elapsed time.Duration) *Summary {
 			s.PerClient[o.Client] = cs
 		}
 		cs.Sent++
+		s.Retried += o.Retries
+		if o.Deduped {
+			s.DedupHits++
+			cs.Deduped++
+		}
 		switch {
 		case o.Err != nil || o.Status == 0:
 			s.Transport++
@@ -277,6 +347,9 @@ func (s *Summary) Text() string {
 	fmt.Fprintf(&b, "  ok %d   shed-429 %d   unavailable-503 %d   deadline-504 %d   invalid-400 %d   failed-5xx %d   transport %d\n",
 		s.OK, s.Shed, s.Unavail, s.Deadline, s.Invalid, s.Failed, s.Transport)
 	fmt.Fprintf(&b, "  shed rate %.1f%%\n", 100*s.ShedRate)
+	if s.Retried > 0 || s.DedupHits > 0 {
+		fmt.Fprintf(&b, "  retried %d   dedup hits %d\n", s.Retried, s.DedupHits)
+	}
 	if s.OK > 0 {
 		fmt.Fprintf(&b, "  latency ms (ok): p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 			s.P50ms, s.P90ms, s.P99ms, s.MaxMs)

@@ -67,6 +67,27 @@ func NewIncremental(e *Engine, g *workload.Graph, rel vlsi.Time) (*Incremental, 
 	}, t
 }
 
+// ResumeIncremental rebuilds an engine around previously committed
+// state without recomputing: g and labels come from a durable
+// snapshot and are adopted as-is at zero simulated cost. The packed
+// twin of graph.ResumeIncremental.
+func ResumeIncremental(e *Engine, g *workload.Graph, labels []int64) *Incremental {
+	if g.N != e.K {
+		panic(fmt.Sprintf("packed: %d vertices on a (%d×%d) engine", g.N, e.K, e.K))
+	}
+	n := e.K
+	d := append([]int64(nil), labels...)
+	return &Incremental{
+		e: e, adj: PackGraph(g), d: d,
+		work:  append([]int64(nil), d...),
+		inS:   make([]bool, n),
+		smask: make([]uint64, bits.Words(n)),
+		hook:  make([]int64, n),
+		prev:  make([]int64, n),
+		converged: true,
+	}
+}
+
 // Labels returns a copy of the committed labels.
 func (inc *Incremental) Labels() []int64 { return append([]int64(nil), inc.d...) }
 
@@ -288,4 +309,18 @@ func NewLabeler(m *core.Machine, g *workload.Graph, rel vlsi.Time) (Labeler, vls
 	}
 	inc, t := graph.NewIncremental(m, g, rel)
 	return inc, t, false
+}
+
+// ResumeLabeler is NewLabeler's recovery path: the committed graph and
+// labels come from a durable snapshot and no initial labeling runs, so
+// no simulated time is charged. The engine choice mirrors NewLabeler
+// so a recovered session streams on the same path it would have lived
+// on uninterrupted.
+func ResumeLabeler(m *core.Machine, g *workload.Graph, labels []int64) (Labeler, bool) {
+	if Eligible(m) {
+		if e, err := engineOf(m); err == nil {
+			return ResumeIncremental(e, g, labels), true
+		}
+	}
+	return graph.ResumeIncremental(m, g, labels), false
 }

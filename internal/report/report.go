@@ -60,6 +60,16 @@ type Report struct {
 	Updates    int    `json:"updates,omitempty"`
 	Affected   int    `json:"affected,omitempty"`
 	Components int    `json:"components,omitempty"`
+
+	// Durability metadata (otserve -journal). Replayed marks a report
+	// whose mutation was re-executed from the write-ahead journal
+	// during crash recovery; Deduped marks a response synthesized for a
+	// retried idempotency key whose original answer was lost with the
+	// crashed process. Live dedup hits return the original bytes
+	// verbatim (these fields unset) — both are transport metadata,
+	// excluded from Same like JobID.
+	Replayed bool `json:"replayed,omitempty"`
+	Deduped  bool `json:"deduped,omitempty"`
 }
 
 // Health flattens the fault/recovery ledger (fault.Health) for the
@@ -119,6 +129,8 @@ func (r *Report) Same(o *Report) bool {
 	a, b := *r, *o
 	a.JobID, b.JobID = "", ""
 	a.SessionID, b.SessionID = "", ""
+	a.Replayed, b.Replayed = false, false
+	a.Deduped, b.Deduped = false, false
 	ah, bh := a.Health, b.Health
 	a.Health, b.Health = nil, nil
 	a.Correct, b.Correct = nil, nil

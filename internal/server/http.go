@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/mcache"
 	"repro/internal/report"
 )
@@ -39,10 +40,23 @@ type Config struct {
 	BreakerBase, BreakerMax time.Duration
 	// MaxSessions bounds concurrently resident streamed-labeling
 	// sessions (default 2 × Workers); SessionTTL evicts sessions idle
-	// longer than this (default 2m). Expiry is lazy — swept on session
-	// and metrics traffic, never by a background goroutine.
+	// longer than this (default 2m). Expiry runs on the background
+	// sweeper goroutine, which Drain/Close stop.
 	MaxSessions int
 	SessionTTL  time.Duration
+	// SweepInterval paces the background sweeper (TTL eviction and
+	// journal compaction triggers). Default min(SessionTTL/4, 15s),
+	// floor 50ms; negative disables the goroutine (tests drive Sweep
+	// directly).
+	SweepInterval time.Duration
+	// JournalDir enables crash-safe state: every admitted mutation is
+	// written ahead to an fsynced journal in this directory, and Open
+	// recovers the previous process's sessions by deterministic replay.
+	// Empty disables journaling (New's behavior is then unchanged).
+	JournalDir string
+	// SnapshotEvery compacts the journal once its replay tail reaches
+	// this many records (default 256; checked by the sweeper).
+	SnapshotEvery int
 	// Now is the clock used by fairness, the breaker and session TTLs
 	// (tests).
 	Now func() time.Time
@@ -82,6 +96,18 @@ func (c Config) withDefaults() Config {
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 2 * time.Minute
 	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.SessionTTL / 4
+		if c.SweepInterval > 15*time.Second {
+			c.SweepInterval = 15 * time.Second
+		}
+		if c.SweepInterval < 50*time.Millisecond {
+			c.SweepInterval = 50 * time.Millisecond
+		}
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
 	return c
 }
 
@@ -100,12 +126,36 @@ type Server struct {
 
 	sess         sessionTable
 	sessInflight sync.WaitGroup
+
+	// Durability (nil/zero when JournalDir is unset): the write-ahead
+	// journal, the idempotency table, and the compaction barrier. Every
+	// journaled mutation holds jmu for reading; CompactNow holds it for
+	// writing, so a snapshot never races the records it must cover.
+	// Lock order: jmu before sess.mu before Session.lock.
+	jl         *journal.Journal
+	jmu        sync.RWMutex
+	dedup      *dedupTable
+	recovering bool
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	sweepOnce sync.Once
 }
 
-// New assembles a started server (workers running, admitting).
+// New assembles a started server (workers running, admitting). It is
+// Open without journaling — cfg.JournalDir must be empty (New cannot
+// surface a recovery error; it panics on one).
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg}
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// newServer builds the unstarted core shared by New and Open.
+func newServer(cfg Config) *Server {
+	s := &Server{cfg: cfg, dedup: newDedupTable()}
 	s.cache = mcache.NewWithCapacity(cfg.CacheCap)
 	s.scache = mcache.NewWithCapacity(cfg.MaxSessions)
 	s.executor = NewExecutor(s.cache)
@@ -126,19 +176,45 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Drain executes the shutdown ladder (see Pool.Drain), then waits for
-// in-flight session requests and releases every session; it returns
-// once everything has joined or ctx expired.
+// Drain executes the shutdown ladder: stop the sweeper, drain the
+// worker pool (see Pool.Drain), wait for in-flight session requests,
+// compact the journal while the sessions are still live (a graceful
+// restart then recovers them instantly from the snapshot — drain does
+// NOT journal deletions), then release every session and close the
+// journal. Returns once everything has joined or ctx expired.
 func (s *Server) Drain(ctx context.Context) error {
+	s.stopSweeper()
 	err := s.pool.Drain(ctx)
-	s.drainSessions(ctx.Done())
+	s.waitSessions(ctx.Done())
+	if s.jl != nil {
+		if cerr := s.CompactNow(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.closeSessions()
+	if s.jl != nil {
+		s.jl.Close()
+	}
 	return err
+}
+
+// Close stops the background sweeper and closes the journal without
+// draining; for tests and callers that never started traffic. Safe
+// after Drain (both are idempotent).
+func (s *Server) Close() {
+	s.stopSweeper()
+	if s.jl != nil {
+		s.jl.Close()
+	}
 }
 
 // Metrics returns the current snapshot (also served at /metrics).
 func (s *Server) Metrics() Snapshot {
-	s.expireSessions()
-	return s.metrics.snapshot(s.cfg.QueueCap, s.cfg.Workers, s.cache, s.breaker, s.SessionCount())
+	snap := s.metrics.snapshot(s.cfg.QueueCap, s.cfg.Workers, s.cache, s.breaker, s.SessionCount())
+	if s.jl != nil {
+		snap.Durability = s.metrics.durability(s.jl.Stats())
+	}
+	return snap
 }
 
 // shedError is the JSON body of every non-200 outcome.
@@ -278,8 +354,37 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
 		return
 	}
+	key := idemKey(r, spec.IdemKey)
+	if key != "" {
+		e, leader := s.claimIdem(r, key)
+		if e != nil {
+			s.writeStored(w, e)
+			return
+		}
+		if !leader {
+			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", spec.ID, 0)
+			return
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		s.metrics.add(func(m *Metrics) { m.invalid++ })
+		s.dedup.abort(key)
+		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), spec.ID, 0)
+		return
+	}
+	s.jmu.RLock()
+	jerr := s.journalRecord(&walRecord{T: "job", Key: key, Job: &spec})
+	s.jmu.RUnlock()
+	if jerr != nil {
+		s.dedup.abort(key)
+		writeShed(w, http.StatusInternalServerError, "failed", jerr.Error(), spec.ID, 0)
+		return
+	}
 	qj, status, reason, msg, retry := s.admit(r, &spec)
 	if qj == nil {
+		// Shed before executing: release the key so the retry gets a
+		// real attempt (only executed outcomes are deduplicated).
+		s.dedup.abort(key)
 		writeShed(w, status, reason, msg, spec.ID, retry)
 		return
 	}
@@ -288,10 +393,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// Deadline fired while we waited; give a raced delivery one
 		// grace read before conceding 504.
 		if res, ok = settleDeadline(qj, time.Millisecond); !ok {
+			s.dedup.abort(key)
 			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", spec.ID, 0)
 			return
 		}
 	}
+	if key != "" && res.rep != nil {
+		body := renderJSON(res.rep)
+		s.jmu.RLock()
+		s.journalRecord(&walRecord{T: "result", Key: key, Status: http.StatusOK, Body: body})
+		s.jmu.RUnlock()
+		s.dedup.finish(key, http.StatusOK, body, false)
+		writeRendered(w, http.StatusOK, body)
+		return
+	}
+	s.dedup.abort(key)
 	respond(w, res, spec.ID)
 }
 
@@ -333,6 +449,16 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []
 			enc.Encode(streamItem{Status: "invalid", Error: "null job"})
 			flush()
 			continue
+		}
+		if spec.Validate() == nil {
+			s.jmu.RLock()
+			jerr := s.journalRecord(&walRecord{T: "job", Job: spec})
+			s.jmu.RUnlock()
+			if jerr != nil {
+				enc.Encode(streamItem{JobID: spec.ID, Status: "failed", Error: jerr.Error()})
+				flush()
+				continue
+			}
 		}
 		qj, _, reason, msg, retry := s.admit(r, spec)
 		if qj == nil {

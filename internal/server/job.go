@@ -89,6 +89,11 @@ type Job struct {
 	// in milliseconds; 0 means no deadline. Expired jobs answer 504
 	// and never hold a machine.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// IdemKey is the client's idempotency key (the Idempotency-Key
+	// header takes precedence). A retried submission with the same key
+	// answers with the original response bytes instead of re-executing.
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 // Supervised reports whether the job runs under the recovery

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/mcache"
 	"repro/internal/tree"
 )
@@ -45,11 +46,20 @@ type Metrics struct {
 	packedSlots int64 // uint64 bit slots those rows occupied
 
 	sessionsCreated  int64 // streamed sessions checked out
-	sessionsExpired  int64 // sessions evicted by the TTL sweep
+	sessionsExpired  int64 // sessions evicted by the TTL sweeper
 	sessionsClosed   int64 // sessions closed by DELETE or drain
 	sessionBatches   int64 // update batches applied across all sessions
 	sessionUpdates   int64 // edge updates those batches carried
 	shedSessionsFull int64 // session creations shed at the capacity gate
+
+	journalErrors           int64 // WAL appends or compactions that failed
+	dedupHits               int64 // keyed retries answered from stored bytes
+	dedupSynthesized        int64 // dedup answers rebuilt by recovery replay
+	recordsReplayed         int64 // WAL records re-executed at the last recovery
+	recordsSkipped          int64 // damaged/out-of-context records skipped
+	sessionsRecovered       int64 // sessions live after the last recovery
+	sessionsDroppedRecovery int64 // snapshot sessions dropped at the capacity gate
+	recoveryMS              int64 // wall-clock milliseconds of the last recovery
 }
 
 // NewMetrics starts the clock.
@@ -112,6 +122,12 @@ type Snapshot struct {
 	SessionUpdates   int64 `json:"session_updates"`
 	ShedSessionsFull int64 `json:"shed_sessions_full"`
 
+	// Durability is present only when the server journals (-journal):
+	// WAL volume and fsync batching, what the last recovery replayed
+	// and how long it took, and how often idempotent retries were
+	// answered without re-executing.
+	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+
 	MCache struct {
 		Hits    int     `json:"hits"`
 		Misses  int     `json:"misses"`
@@ -127,6 +143,49 @@ type Snapshot struct {
 		Size    int     `json:"size"`
 		HitRate float64 `json:"hit_rate"`
 	} `json:"plan_cache"`
+}
+
+// DurabilitySnapshot is the /metrics durability block (journaling
+// servers only): journal volume, fsync batching, and what the last
+// crash recovery replayed.
+type DurabilitySnapshot struct {
+	JournalSegment  int64 `json:"journal_segment"`
+	JournalSnapshot int64 `json:"journal_snapshot"`
+	JournalRecords  int64 `json:"journal_records"`
+	JournalBytes    int64 `json:"journal_bytes"`
+	FsyncBatches    int64 `json:"fsync_batches"`
+	Snapshots       int64 `json:"snapshots"`
+	TailRecords     int64 `json:"tail_records"`
+	TornBytes       int64 `json:"torn_bytes_dropped"`
+	JournalErrors   int64 `json:"journal_errors"`
+
+	DedupHits        int64 `json:"dedup_hits"`
+	DedupSynthesized int64 `json:"dedup_synthesized"`
+
+	RecordsReplayed   int64 `json:"records_replayed"`
+	RecordsSkipped    int64 `json:"records_skipped,omitempty"`
+	SessionsRecovered int64 `json:"sessions_recovered"`
+	SessionsDropped   int64 `json:"sessions_dropped_recovery,omitempty"`
+	RecoveryMS        int64 `json:"recovery_ms"`
+}
+
+// durability merges the journal's own stats with the server-side
+// durability counters.
+func (m *Metrics) durability(js journal.Stats) *DurabilitySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &DurabilitySnapshot{
+		JournalSegment: int64(js.Segment), JournalSnapshot: int64(js.Snapshot),
+		JournalRecords: js.Records, JournalBytes: js.Bytes,
+		FsyncBatches: js.Fsyncs, Snapshots: js.Snapshots,
+		TailRecords: js.TailRecords, TornBytes: js.TornBytes,
+		JournalErrors:    m.journalErrors,
+		DedupHits:        m.dedupHits,
+		DedupSynthesized: m.dedupSynthesized,
+		RecordsReplayed:  m.recordsReplayed, RecordsSkipped: m.recordsSkipped,
+		SessionsRecovered: m.sessionsRecovered, SessionsDropped: m.sessionsDroppedRecovery,
+		RecoveryMS: m.recoveryMS,
+	}
 }
 
 // snapshot assembles the document from the live counters plus the

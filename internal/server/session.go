@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -123,6 +124,12 @@ type Session struct {
 	updates int
 	failed  error
 	closed  bool
+
+	// history records every applied update request, in order, for
+	// fault-bearing sessions only: their machine health ledger is
+	// observable in reports, so snapshot compaction preserves the full
+	// input stream and recovery replays it from origin.
+	history []*updateRequest
 }
 
 // sessionTable is the server's session registry. reserved counts
@@ -133,36 +140,6 @@ type sessionTable struct {
 	byID     map[string]*Session
 	seq      uint64
 	reserved int
-}
-
-// sweepLocked evicts sessions idle past ttl; callers hold mu. The
-// evicted sessions are returned for machine release outside the lock.
-func (r *sessionTable) sweepLocked(ttl time.Duration, now time.Time) []*Session {
-	var evicted []*Session
-	for id, sess := range r.byID {
-		sess.lock.Lock()
-		idle := now.Sub(sess.lastUsed)
-		sess.lock.Unlock()
-		if idle > ttl {
-			delete(r.byID, id)
-			evicted = append(evicted, sess)
-		}
-	}
-	return evicted
-}
-
-// expireSessions runs a lazy TTL sweep — the server has no background
-// ticker (otserve's shutdown leak check forbids one), so expiry rides
-// on session and metrics traffic.
-func (s *Server) expireSessions() {
-	now := s.now()
-	s.sess.mu.Lock()
-	evicted := s.sess.sweepLocked(s.cfg.SessionTTL, now)
-	s.sess.mu.Unlock()
-	for _, sess := range evicted {
-		s.releaseSession(sess)
-		s.metrics.add(func(m *Metrics) { m.sessionsExpired++ })
-	}
 }
 
 // releaseSession closes the session and returns its machine to the
@@ -225,18 +202,31 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if spec.Client == "" {
 		spec.Client = r.Header.Get("X-Client-ID")
 	}
+	key := idemKey(r, "")
+	if key != "" {
+		e, leader := s.claimIdem(r, key)
+		if e != nil {
+			s.writeStored(w, e)
+			return
+		}
+		if !leader {
+			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", "", 0)
+			return
+		}
+	}
 	if ok, retry := s.fairness.Allow(spec.Client); !ok {
 		s.metrics.add(func(m *Metrics) { m.shedRateLimited++ })
+		s.dedup.abort(key)
 		writeShed(w, http.StatusTooManyRequests, "rate_limited",
 			fmt.Sprintf("client %q over rate", spec.Client), "", retry)
 		return
 	}
 
-	s.expireSessions()
 	s.sess.mu.Lock()
 	if len(s.sess.byID)+s.sess.reserved >= s.cfg.MaxSessions {
 		s.sess.mu.Unlock()
 		s.metrics.add(func(m *Metrics) { m.shedSessionsFull++ })
+		s.dedup.abort(key)
 		writeShed(w, http.StatusTooManyRequests, "sessions_full",
 			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions), "", s.retryAfterFull())
 		return
@@ -249,7 +239,21 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	s.sessInflight.Add(1)
 	defer s.sessInflight.Done()
 
-	sess, rep, status, msg := s.createSession(r, id, &spec)
+	// Intent first: the create is durable before it executes, so a
+	// crash mid-build either lost an unacknowledged attempt (replay
+	// re-creates it) or nothing at all.
+	s.jmu.RLock()
+	defer s.jmu.RUnlock()
+	if err := s.journalRecord(&walRecord{T: "create", SID: id, Key: key, Spec: &spec}); err != nil {
+		s.sess.mu.Lock()
+		s.sess.reserved--
+		s.sess.mu.Unlock()
+		s.dedup.abort(key)
+		writeShed(w, http.StatusInternalServerError, "failed", err.Error(), "", 0)
+		return
+	}
+
+	sess, rep, status, msg := s.createSession(r.Context(), id, &spec)
 	s.sess.mu.Lock()
 	s.sess.reserved--
 	if sess != nil {
@@ -257,17 +261,26 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sess.mu.Unlock()
 	if sess == nil {
+		// Journaled intent without a session: creation fails the same
+		// way on replay, so recovery skips it; the key is released so a
+		// retry gets a real attempt.
+		s.dedup.abort(key)
 		writeShed(w, status, "failed", msg, "", 0)
 		return
 	}
 	s.metrics.add(func(m *Metrics) { m.sessionsCreated++ })
-	writeJSON(w, http.StatusOK, rep)
+	out := renderJSON(rep)
+	if key != "" {
+		s.journalRecord(&walRecord{T: "result", Key: key, Status: http.StatusOK, Body: out})
+		s.dedup.finish(key, http.StatusOK, out, false)
+	}
+	writeRendered(w, http.StatusOK, out)
 }
 
 // createSession builds the session's workload and engine and runs the
 // initial labeling. On failure the machine (if any) is dropped back to
 // the cache.
-func (s *Server) createSession(r *http.Request, id string, spec *SessionSpec) (*Session, *report.Report, int, string) {
+func (s *Server) createSession(ctx context.Context, id string, spec *SessionSpec) (*Session, *report.Report, int, string) {
 	j := spec.job()
 	rng := workload.NewRNG(spec.Seed)
 	var g *workload.Graph
@@ -301,7 +314,7 @@ func (s *Server) createSession(r *http.Request, id string, spec *SessionSpec) (*
 		return sess, s.sessionReport(sess, 0, t0, graph.BatchStats{}, nil, 0), 0, ""
 	}
 
-	m, err := s.scache.CheckoutContext(r.Context(), sess.key, j.build)
+	m, err := s.scache.CheckoutContext(ctx, sess.key, j.build)
 	if err != nil {
 		return nil, nil, http.StatusInternalServerError, err.Error()
 	}
@@ -402,10 +415,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, http.StatusNotFound, "invalid", "missing session id", "", 0)
 		return
 	}
-	s.expireSessions()
-	s.sess.mu.Lock()
-	sess := s.sess.byID[id]
-	s.sess.mu.Unlock()
+	sess := s.lookupSession(id)
 	if sess == nil {
 		writeShed(w, http.StatusNotFound, "invalid", fmt.Sprintf("no session %q", id), "", 0)
 		return
@@ -415,18 +425,48 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	case sub == "" && r.Method == http.MethodGet:
 		s.writeSessionInfo(w, sess)
 	case sub == "" && r.Method == http.MethodDelete:
-		s.sess.mu.Lock()
-		delete(s.sess.byID, id)
-		s.sess.mu.Unlock()
-		s.releaseSession(sess)
-		s.metrics.add(func(m *Metrics) { m.sessionsClosed++ })
-		writeJSON(w, http.StatusOK, map[string]string{"status": "closed", "session_id": id})
+		s.handleDelete(w, r, sess)
 	case sub == "updates" && r.Method == http.MethodPost:
 		s.handleUpdates(w, r, sess)
 	default:
 		writeShed(w, http.StatusMethodNotAllowed, "invalid",
 			"GET|DELETE /sessions/{id} or POST /sessions/{id}/updates", "", 0)
 	}
+}
+
+// handleDelete closes a session, journaling the intent first so
+// recovery never resurrects a closed session.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, sess *Session) {
+	key := idemKey(r, "")
+	if key != "" {
+		e, leader := s.claimIdem(r, key)
+		if e != nil {
+			s.writeStored(w, e)
+			return
+		}
+		if !leader {
+			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", "", 0)
+			return
+		}
+	}
+	s.jmu.RLock()
+	defer s.jmu.RUnlock()
+	if err := s.journalRecord(&walRecord{T: "delete", SID: sess.id, Key: key}); err != nil {
+		s.dedup.abort(key)
+		writeShed(w, http.StatusInternalServerError, "failed", err.Error(), "", 0)
+		return
+	}
+	s.sess.mu.Lock()
+	delete(s.sess.byID, sess.id)
+	s.sess.mu.Unlock()
+	s.releaseSession(sess)
+	s.metrics.add(func(m *Metrics) { m.sessionsClosed++ })
+	body := renderJSON(map[string]string{"status": "closed", "session_id": sess.id})
+	if key != "" {
+		s.journalRecord(&walRecord{T: "result", Key: key, Status: http.StatusOK, Body: body})
+		s.dedup.finish(key, http.StatusOK, body, false)
+	}
+	writeRendered(w, http.StatusOK, body)
 }
 
 // sessionInfo is the GET /sessions/{id} body.
@@ -456,14 +496,32 @@ func (s *Server) writeSessionInfo(w http.ResponseWriter, sess *Session) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// handleUpdates applies one update batch to the session and answers
-// with the per-batch report.
-func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request, sess *Session) {
-	if s.pool.Draining() {
-		s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
-		writeShed(w, http.StatusServiceUnavailable, "draining", "server is draining", "", time.Second)
-		return
+// validateUpdateRequest checks the batch shape against the session
+// without mutating anything — validation must precede the journal
+// intent so malformed requests never enter the WAL.
+func validateUpdateRequest(sess *Session, req *updateRequest) error {
+	if req.Count < 0 || (len(req.Updates) == 0) == (req.Count == 0) {
+		return fmt.Errorf("provide exactly one of a non-empty updates list or a positive count")
 	}
+	if req.Count > 0 {
+		return nil
+	}
+	if sess.img != nil {
+		return fmt.Errorf("grid sessions generate their own pixel updates; use count")
+	}
+	for _, u := range req.Updates {
+		if u.U < 0 || u.U >= sess.spec.N || u.V < 0 || u.V >= sess.spec.N || u.U == u.V {
+			return fmt.Errorf("update {%d,%d} out of range for n=%d", u.U, u.V, sess.spec.N)
+		}
+	}
+	return nil
+}
+
+// handleUpdates applies one update batch to the session and answers
+// with the per-batch report. The batch is journaled before it touches
+// the engine; a retried Idempotency-Key answers with the original
+// response bytes verbatim.
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request, sess *Session) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
@@ -475,28 +533,74 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request, sess *Ses
 		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
 		return
 	}
-	if req.Count < 0 || (len(req.Updates) == 0) == (req.Count == 0) {
+	if err := validateUpdateRequest(sess, &req); err != nil {
 		s.metrics.add(func(m *Metrics) { m.invalid++ })
-		writeShed(w, http.StatusBadRequest, "invalid",
-			"provide exactly one of a non-empty updates list or a positive count", "", 0)
+		writeShed(w, http.StatusBadRequest, "invalid", err.Error(), "", 0)
+		return
+	}
+	key := idemKey(r, "")
+	if key != "" {
+		e, leader := s.claimIdem(r, key)
+		if e != nil {
+			s.writeStored(w, e)
+			return
+		}
+		if !leader {
+			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", "", 0)
+			return
+		}
+	}
+	if s.pool.Draining() {
+		s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
+		s.dedup.abort(key)
+		writeShed(w, http.StatusServiceUnavailable, "draining", "server is draining", "", time.Second)
 		return
 	}
 
 	s.sessInflight.Add(1)
 	defer s.sessInflight.Done()
 
+	s.jmu.RLock()
+	defer s.jmu.RUnlock()
 	sess.lock.Lock()
 	defer sess.lock.Unlock()
 	if sess.closed {
+		s.dedup.abort(key)
 		writeShed(w, http.StatusGone, "invalid", "session closed", "", 0)
 		return
 	}
 	if sess.failed != nil {
+		s.dedup.abort(key)
 		writeShed(w, http.StatusConflict, "failed",
 			fmt.Sprintf("session failed: %v", sess.failed), "", 0)
 		return
 	}
+	if err := s.journalRecord(&walRecord{T: "update", SID: sess.id, Key: key, Req: &req}); err != nil {
+		s.dedup.abort(key)
+		writeShed(w, http.StatusInternalServerError, "failed", err.Error(), "", 0)
+		return
+	}
+
+	rep, status := s.applyUpdateLocked(sess, &req)
+	out := renderJSON(rep)
+	if key != "" {
+		// Both 200 and the deterministic 500 are executed outcomes:
+		// journal the bytes and publish them for retries.
+		s.journalRecord(&walRecord{T: "result", Key: key, Status: status, Body: out})
+		s.dedup.finish(key, status, out, false)
+	}
+	writeRendered(w, status, out)
+}
+
+// applyUpdateLocked materializes and applies one validated batch;
+// callers hold sess.lock (and, when journaling, jmu.RLock). It is the
+// single execution path shared by live traffic and recovery replay —
+// which is what makes replay bit-identical to the original run.
+func (s *Server) applyUpdateLocked(sess *Session, req *updateRequest) (*report.Report, int) {
 	sess.lastUsed = s.now()
+	if sess.faultBearing() {
+		sess.history = append(sess.history, req)
+	}
 
 	// Materialize the batch.
 	var batch []workload.EdgeUpdate
@@ -507,18 +611,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request, sess *Ses
 			batch = sess.rng.UpdateBatch(sess.stream, req.Count)
 		}
 	} else {
-		if sess.img != nil {
-			writeShed(w, http.StatusBadRequest, "invalid",
-				"grid sessions generate their own pixel updates; use count", "", 0)
-			return
-		}
 		for _, u := range req.Updates {
-			if u.U < 0 || u.U >= sess.spec.N || u.V < 0 || u.V >= sess.spec.N || u.U == u.V {
-				s.metrics.add(func(m *Metrics) { m.invalid++ })
-				writeShed(w, http.StatusBadRequest, "invalid",
-					fmt.Sprintf("update {%d,%d} out of range for n=%d", u.U, u.V, sess.spec.N), "", 0)
-				return
-			}
 			batch = append(batch, workload.EdgeUpdate{U: u.U, V: u.V, Add: u.Add})
 			// Keep the generator's shadow coherent with explicit edits.
 			sess.stream.Adj[u.U][u.V] = u.Add
@@ -561,9 +654,8 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request, sess *Ses
 	if runErr != nil {
 		sess.failed = runErr
 		s.metrics.add(func(m *Metrics) { m.giveUps++ })
-		writeJSON(w, http.StatusInternalServerError,
-			s.sessionReport(sess, sess.batches+1, 0, st, runErr, delivered))
-		return
+		return s.sessionReport(sess, sess.batches+1, 0, st, runErr, delivered),
+			http.StatusInternalServerError
 	}
 	sess.clock = done
 	sess.batches++
@@ -572,13 +664,12 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request, sess *Ses
 		m.sessionBatches++
 		m.sessionUpdates += int64(len(batch))
 	})
-	writeJSON(w, http.StatusOK, s.sessionReport(sess, sess.batches, done-before, st, nil, delivered))
+	return s.sessionReport(sess, sess.batches, done-before, st, nil, delivered), http.StatusOK
 }
 
-// drainSessions waits (bounded by done) for in-flight session
-// requests, then releases every session; the tail of the server's
-// shutdown ladder.
-func (s *Server) drainSessions(done <-chan struct{}) {
+// waitSessions waits (bounded by done) for in-flight session
+// requests to finish.
+func (s *Server) waitSessions(done <-chan struct{}) {
 	waited := make(chan struct{})
 	go func() {
 		s.sessInflight.Wait()
@@ -588,6 +679,13 @@ func (s *Server) drainSessions(done <-chan struct{}) {
 	case <-waited:
 	case <-done:
 	}
+}
+
+// closeSessions releases every session; the tail of the server's
+// shutdown ladder. Drain runs it AFTER the final journal compaction —
+// graceful shutdown does not journal deletions, so a restart recovers
+// the sessions from the snapshot.
+func (s *Server) closeSessions() {
 	s.sess.mu.Lock()
 	all := make([]*Session, 0, len(s.sess.byID))
 	for id, sess := range s.sess.byID {

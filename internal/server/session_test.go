@@ -183,16 +183,19 @@ func TestSessionGrid(t *testing.T) {
 	}
 }
 
-// TestSessionTTL pins lazy expiry: once the injected clock moves past
-// SessionTTL the session is gone and counted as expired.
+// TestSessionTTL pins sweeper expiry: once the injected clock moves
+// past SessionTTL a sweep evicts the session and counts it as expired.
+// SweepInterval < 0 keeps the background goroutine out of the test;
+// Sweep() is the same pass it would run.
 func TestSessionTTL(t *testing.T) {
 	var mu sync.Mutex
 	now := time.Unix(1000, 0)
-	cfg := Config{Workers: 2, SessionTTL: time.Minute, Now: func() time.Time {
-		mu.Lock()
-		defer mu.Unlock()
-		return now
-	}}
+	cfg := Config{Workers: 2, SessionTTL: time.Minute, SweepInterval: -1,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}}
 	s := New(cfg)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
@@ -203,6 +206,7 @@ func TestSessionTTL(t *testing.T) {
 	mu.Lock()
 	now = now.Add(2 * time.Minute)
 	mu.Unlock()
+	s.Sweep()
 
 	resp, err := ts.Client().Get(ts.URL + "/sessions/" + rep.SessionID)
 	if err != nil {

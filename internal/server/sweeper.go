@@ -1,0 +1,95 @@
+package server
+
+import (
+	"time"
+)
+
+// startSweeper launches the background maintenance goroutine: TTL
+// eviction (journaled, so recovery cannot resurrect an evicted
+// session) and journal compaction once the replay tail passes
+// SnapshotEvery records. A negative SweepInterval disables the
+// goroutine; tests then drive Sweep directly.
+func (s *Server) startSweeper() {
+	s.sweepStop = make(chan struct{})
+	s.sweepDone = make(chan struct{})
+	if s.cfg.SweepInterval < 0 {
+		close(s.sweepDone)
+		return
+	}
+	go func() {
+		defer close(s.sweepDone)
+		t := time.NewTicker(s.cfg.SweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.sweepStop:
+				return
+			case <-t.C:
+				s.Sweep()
+			}
+		}
+	}()
+}
+
+// stopSweeper stops the goroutine and waits for it to exit, so
+// shutdown leaves no sweeper behind (otserve's -leakcheck gate).
+func (s *Server) stopSweeper() {
+	s.sweepOnce.Do(func() { close(s.sweepStop) })
+	<-s.sweepDone
+}
+
+// Sweep runs one maintenance pass synchronously: evict sessions idle
+// past SessionTTL, then compact the journal if its tail has grown past
+// SnapshotEvery. Exported so tests (and the sweeper goroutine) share
+// one deterministic implementation.
+func (s *Server) Sweep() {
+	now := s.now()
+	s.sess.mu.Lock()
+	candidates := make([]*Session, 0)
+	for _, sess := range s.sess.byID {
+		sess.lock.Lock()
+		idle := now.Sub(sess.lastUsed)
+		sess.lock.Unlock()
+		if idle > s.cfg.SessionTTL {
+			candidates = append(candidates, sess)
+		}
+	}
+	s.sess.mu.Unlock()
+	for _, sess := range candidates {
+		s.evictSession(sess, now)
+	}
+	if s.jl != nil && s.jl.TailRecords() >= int64(s.cfg.SnapshotEvery) {
+		s.CompactNow()
+	}
+}
+
+// evictSession journals and applies one TTL eviction. The idle check
+// repeats under the registry lock because traffic may have raced the
+// scan; the journal record is written before the removal (while still
+// holding the registry lock) so the WAL order matches the applied
+// order — an eviction in the journal is an eviction that happened.
+func (s *Server) evictSession(sess *Session, now time.Time) {
+	s.jmu.RLock()
+	defer s.jmu.RUnlock()
+	s.sess.mu.Lock()
+	if s.sess.byID[sess.id] != sess {
+		s.sess.mu.Unlock()
+		return
+	}
+	sess.lock.Lock()
+	idle := now.Sub(sess.lastUsed)
+	sess.lock.Unlock()
+	if idle <= s.cfg.SessionTTL {
+		s.sess.mu.Unlock()
+		return
+	}
+	if err := s.journalRecord(&walRecord{T: "evict", SID: sess.id}); err != nil {
+		// Not durable: keep the session; the next pass retries.
+		s.sess.mu.Unlock()
+		return
+	}
+	delete(s.sess.byID, sess.id)
+	s.sess.mu.Unlock()
+	s.releaseSession(sess)
+	s.metrics.add(func(m *Metrics) { m.sessionsExpired++ })
+}

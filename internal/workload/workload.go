@@ -24,6 +24,19 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state, for durable snapshots.
+// SetState(State()) resumes the exact stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator state with a value previously
+// returned by State. A zero state is remapped as in NewRNG.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state
