@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked benchincremental servesmoke servesweep chaossmoke ci
+.PHONY: build test vet race fuzz bench benchcmp benchsmoke benchthroughput benchroutes benchpacked benchincremental servesmoke servesweep chaossmoke cachesmoke ci
 
 build:
 	$(GO) build ./...
@@ -99,9 +99,13 @@ servesmoke:
 
 # Service degradation table: an in-process otserve at three offered
 # loads; p99 must stay bounded and errors zero while shed % absorbs
-# the overload.
+# the overload. The compute-once section then drives a zipf-popular
+# workload at identical servers with the result cache on and off, and
+# fails unless the cache buys ≥5× completed throughput at a ≥80% hit
+# rate with lower p99 and byte-identical answers; its snapshot is the
+# committed BENCH_PR10.json.
 servesweep:
-	$(GO) run ./cmd/otbench -servesweep
+	$(GO) run ./cmd/otbench -servesweep -cachejson BENCH_PR10.json
 
 # Kill-and-recover chaos proof: SIGKILL a race-built journaling
 # otserve at seed-derived points mid-session-stream, restart it on the
@@ -113,10 +117,20 @@ servesweep:
 chaossmoke:
 	./scripts/chaossmoke.sh
 
+# Compute-once smoke: a race-built otserve driven with a zipf-popular
+# otload workload must serve most answers from the result cache, a
+# warm repeat of a spec must answer byte-identically (modulo job id
+# and the cached mark) to its first execution, and the drain must
+# still leak zero goroutines. See scripts/cachesmoke.sh.
+cachesmoke:
+	./scripts/cachesmoke.sh
+
 # The full gate. benchpacked adds ~1s: the packed N=1024 components
 # cell simulates in ~2ms and the whole extended Table III sweep,
 # engine builds included, is sub-second. benchincremental adds a few
 # seconds more: the host-cost entries re-measure under
 # testing.Benchmark at both sizes. chaossmoke adds ~15s: four
 # SIGKILL/recover cycles against the race-built server.
-ci: build vet test race benchsmoke benchpacked benchincremental servesmoke chaossmoke
+# cachesmoke adds a few seconds: one more race-built otserve cycle
+# under a zipf workload with a byte-identity check on a cached answer.
+ci: build vet test race benchsmoke benchpacked benchincremental servesmoke cachesmoke chaossmoke

@@ -68,7 +68,8 @@ func main() {
 	routes := flag.Bool("routes", false, "run the route-bound benchmarks compiled and interpreted and print the comparison table")
 	packedSweep := flag.Bool("packed", false, "run the packed-engine scaling study (Table III extended to N=1024) and print the table")
 	incremental := flag.Bool("incremental", false, "run the incremental streaming-labeling study and the incremental-vs-recompute host-cost table")
-	servesweep := flag.Bool("servesweep", false, "drive an in-process otserve at three offered-load levels and print the degradation table")
+	servesweep := flag.Bool("servesweep", false, "drive an in-process otserve at three offered-load levels and print the degradation table, then the compute-once (result cache on vs off) zipf sweep")
+	cachejson := flag.String("cachejson", "", "servesweep: also write the compute-once sweep snapshot to this file (e.g. BENCH_PR10.json)")
 	hosttol := flag.Float64("hosttol", 0, "percentage tolerance on ns/op regressions in -compare; 0 keeps host times info-only")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -88,7 +89,7 @@ func main() {
 
 	ok := true
 	if *servesweep {
-		ok = servesweepMode()
+		ok = servesweepMode(*cachejson)
 	} else if *packedSweep {
 		packedMode(*sizes, *format)
 	} else if *incremental {

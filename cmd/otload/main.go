@@ -11,7 +11,14 @@
 //	otload -misbehave                     # add a 4×-rate flooding client
 //	otload -alg cc -n 64 -deadline 200    # cc jobs with 200ms deadlines
 //	otload -events 3                      # supervised jobs (mid-run faults)
+//	otload -zipf 16                       # Zipf spec popularity over 16 specs
 //	otload -json                          # machine-readable summary
+//
+// -zipf draws each request's workload seed from a Zipf-distributed
+// popularity over that many distinct specs (skew -zipfs, default 1.2)
+// instead of a unique seed per request — the compute-once regime. The
+// ledger counts answers the server served from its result cache (the
+// X-Result-Cache header) per run and per client.
 //
 // -session switches to the streamed-session replay: check out one
 // /sessions session, stream -batches update batches of -batchsize
@@ -65,6 +72,8 @@ func main() {
 	batches := flag.Int("batches", 32, "session: update batches to stream")
 	batchSize := flag.Int("batchsize", 4, "session: generated updates per batch")
 	retries := flag.Int("retries", 0, "re-attempts per request on 429/503 or transport error (Retry-After honored, idempotency keys attached)")
+	zipf := flag.Int("zipf", 0, "draw job seeds Zipf-distributed over this many distinct specs (0 = unique seed per request)")
+	zipfS := flag.Float64("zipfs", 1.2, "zipf skew exponent (> 1; larger = hotter head)")
 	sessionID := flag.String("sessionid", "", "session: resume this existing session instead of creating one")
 	startBatch := flag.Int("startbatch", 1, "session: number batches (and idempotency keys) from this index")
 	keyPrefix := flag.String("keyprefix", "", "session: attach Idempotency-Key <prefix>-b<i> to every batch")
@@ -122,7 +131,7 @@ func main() {
 	sum, err := loadgen.Run(loadgen.Options{
 		URL: *url, Rate: *rate, Duration: *duration, Arrival: *arrival,
 		Clients: *clients, Misbehave: *misbehave, Seed: *seed, Job: job,
-		Retries: *retries,
+		Retries: *retries, ZipfSpecs: *zipf, ZipfS: *zipfS,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "otload: %v\n", err)

@@ -12,10 +12,19 @@
 //	otserve -draintimeout 30s             # SIGTERM → finish in-flight
 //	otserve -leakcheck                    # verify zero leaked goroutines at exit
 //	otserve -journal /var/lib/ot/journal  # crash-safe state: WAL + recovery by replay
+//	otserve -rescache 128m                # result-cache byte budget (-1 disables)
+//	otserve -pprof localhost:6060         # net/http/pprof side listener
 //
 //	curl -s localhost:8080/jobs -d '{"alg":"sort","n":16,"seed":1}'
 //	curl -s localhost:8080/jobs -d '{"alg":"cc","n":1024,"seed":1,"packed":true}'
 //	curl -s localhost:8080/metrics
+//
+// Identical specs are served compute-once: the first execution's bytes
+// are cached by canonical spec fingerprint and every later identical
+// submission — any client — answers from them (response header
+// X-Result-Cache: hit, report field "cached": true), while concurrent
+// identical specs coalesce onto one execution ("coalesced": true).
+// /metrics reports the result_cache block.
 //
 // Streamed sessions hold a machine (or packed engine) across update
 // batches so labels are maintained incrementally instead of recomputed
@@ -40,15 +49,41 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// parseBytes reads a byte budget: a plain integer, or one with a
+// k/m/g suffix. "" means 0 (the server default), "-1" disables.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return n * mult, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -68,9 +103,36 @@ func main() {
 	journalDir := flag.String("journal", "", "write-ahead journal directory; enables crash recovery by replay")
 	snapshotEvery := flag.Int("snapshotevery", 0, "compact the journal after this many tail records (0 = 256)")
 	sweepInterval := flag.Duration("sweepinterval", 0, "background sweeper period (0 = auto, <0 disables)")
+	rescacheBytes := flag.String("rescache", "", "result-cache byte budget, e.g. 64m or 1g (empty = 64m default, -1 disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
 	flag.Parse()
 
+	rcBytes, err := parseBytes(*rescacheBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "otserve: -rescache: %v\n", err)
+		os.Exit(1)
+	}
+
 	baseline := runtime.NumGoroutine()
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "otserve: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		// The profiler gets its own mux and listener so it is never
+		// exposed on the service address.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		fmt.Fprintf(os.Stderr, "otserve: pprof on %s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, mux)
+		baseline = runtime.NumGoroutine()
+	}
 
 	srv, err := server.Open(server.Config{
 		Workers: *workers, QueueCap: *queue, MaxLanes: *lanes, CacheCap: *cachecap,
@@ -78,6 +140,7 @@ func main() {
 		BreakerThreshold: *breaker, BreakerBase: *breakerBase, BreakerMax: *breakerMax,
 		MaxSessions: *maxSessions, SessionTTL: *sessionTTL,
 		JournalDir: *journalDir, SnapshotEvery: *snapshotEvery, SweepInterval: *sweepInterval,
+		ResultCacheBytes: rcBytes,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "otserve: %v\n", err)

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/vlsi"
+)
+
+// TestMemoHitMatchesExecutedRow is the analysis layer's byte-identity
+// contract: a sweep re-run answered from the cell memo must produce
+// rows identical to the executed sweep — same areas, times, claims and
+// order — while the memo counters prove the second pass did not
+// re-simulate.
+func TestMemoHitMatchesExecutedRow(t *testing.T) {
+	ns := []int{4, 16}
+	cold, err := Table1Sorting(ns, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := CellMemoStats()
+	warm, err := Table1Sorting(ns, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := CellMemoStats()
+
+	if len(warm.Rows) != len(cold.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(warm.Rows), len(cold.Rows))
+	}
+	for i := range cold.Rows {
+		c, w := cold.Rows[i], warm.Rows[i]
+		if c.Network != w.Network || c.N != w.N || c.Area != w.Area ||
+			c.Time != w.Time || c.Analytic != w.Analytic {
+			t.Fatalf("row %d differs: cold %+v warm %+v", i, c, w)
+		}
+		if c.Claim.Area.Label != w.Claim.Area.Label ||
+			c.Claim.Time.Label != w.Claim.Time.Label ||
+			c.Claim.AT2.Label != w.Claim.AT2.Label {
+			t.Fatalf("row %d claim labels differ", i)
+		}
+	}
+	hits := after.Hits - before.Hits
+	if hits != int64(len(cold.Rows)) {
+		t.Fatalf("warm sweep took %d memo hits, want %d (one per cell)", hits, len(cold.Rows))
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("warm sweep re-executed %d cells", after.Misses-before.Misses)
+	}
+}
+
+// TestMemoKeysDistinguishStudies pins the canonicalization: the same
+// (network, N) cell under a different study id (Table I vs Table IV is
+// a different delay model) must not share memo entries.
+func TestMemoKeysDistinguishStudies(t *testing.T) {
+	ns := []int{4}
+	logT, err := Table1Sorting(ns, vlsi.LogDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constT, err := Table1Sorting(ns, vlsi.ConstantDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same mesh cell, different model: times must differ (constant
+	// delay is strictly cheaper than log delay at any N > 1), which
+	// they cannot if the memo cross-served the entry.
+	lm := logT.rowsOf("mesh")[0]
+	cm := constT.rowsOf("mesh")[0]
+	if lm.Time == cm.Time {
+		t.Fatalf("log and const mesh cells share time %d — memo key ignores the study", lm.Time)
+	}
+}

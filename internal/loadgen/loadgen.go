@@ -60,9 +60,21 @@ type Options struct {
 	// journaling server never collide; Run fills in a timestamp when
 	// empty.
 	RunID string
+	// ZipfSpecs, when positive, draws each request's workload seed from
+	// a Zipf-distributed popularity over this many distinct specs
+	// instead of giving every request its own — the compute-once
+	// regime: a few hot specs dominate the offered load, so a
+	// result-cache-enabled server answers most requests from stored
+	// bytes (the ledger counts them via the X-Result-Cache header).
+	// ZipfS is the skew exponent (default 1.2; must be > 1).
+	ZipfSpecs int
+	ZipfS     float64
 	// HTTPClient overrides the transport (tests); nil uses a pooled
 	// default with a 30s safety timeout.
 	HTTPClient *http.Client
+
+	// specSeq is the precomputed per-request spec draw (zipf mode).
+	specSeq []uint64
 }
 
 // Outcome is one request's fate.
@@ -72,16 +84,18 @@ type Outcome struct {
 	Reason  string
 	Latency time.Duration
 	Err     error
-	Retries int  // re-attempts this request needed
-	Deduped bool // answered from the server's idempotency table
+	Retries int    // re-attempts this request needed
+	Deduped bool   // answered from the server's idempotency table
+	Cache   string // X-Result-Cache: "hit", "coalesced" or ""
 }
 
 // ClientStats is the fairness ledger for one client ID.
 type ClientStats struct {
-	Sent    int `json:"sent"`
-	OK      int `json:"ok"`
-	Shed    int `json:"shed"`    // 429s (queue or rate)
-	Deduped int `json:"deduped"` // answers served from the idempotency table
+	Sent      int `json:"sent"`
+	OK        int `json:"ok"`
+	Shed      int `json:"shed"`       // 429s (queue or rate)
+	Deduped   int `json:"deduped"`    // answers served from the idempotency table
+	CacheHits int `json:"cache_hits"` // answers served by the result cache (hit or coalesced)
 }
 
 // Summary is the reduced result of a run.
@@ -103,6 +117,12 @@ type Summary struct {
 	// of re-executing (journaling servers only).
 	Retried   int `json:"retried"`
 	DedupHits int `json:"dedup_hits"`
+
+	// CacheHits counts answers served from the server's result cache
+	// (X-Result-Cache: hit); CacheCoalesced counts answers that rode a
+	// concurrent identical execution (X-Result-Cache: coalesced).
+	CacheHits      int `json:"cache_hits"`
+	CacheCoalesced int `json:"cache_coalesced"`
 
 	ShedRate float64 `json:"shed_rate"` // (429+503)/offered
 
@@ -193,6 +213,18 @@ func Run(o Options) (*Summary, error) {
 	if len(plan) == 0 {
 		return nil, fmt.Errorf("loadgen: empty schedule (rate %.1f, duration %s)", o.Rate, o.Duration)
 	}
+	if o.ZipfSpecs > 0 {
+		if o.ZipfS <= 1 {
+			o.ZipfS = 1.2
+		}
+		// Draws are precomputed in schedule order so the spec-popularity
+		// sequence is deterministic regardless of response timing.
+		z := rand.NewZipf(rng, o.ZipfS, 1, uint64(o.ZipfSpecs-1))
+		o.specSeq = make([]uint64, len(plan))
+		for i := range o.specSeq {
+			o.specSeq[i] = z.Uint64()
+		}
+	}
 
 	outcomes := make([]Outcome, len(plan))
 	var wg sync.WaitGroup
@@ -223,6 +255,10 @@ func post(client *http.Client, o *Options, a arrival) Outcome {
 	job.ID = fmt.Sprintf("req-%d", a.index)
 	job.Client = a.client
 	job.Seed = o.Job.Seed + uint64(a.index)
+	if o.specSeq != nil {
+		// Zipf popularity: many requests share few hot seeds.
+		job.Seed = o.Job.Seed + o.specSeq[a.index]
+	}
 	if o.Retries > 0 {
 		job.IdemKey = fmt.Sprintf("%s-%s-req-%d", o.RunID, a.client, a.index)
 	}
@@ -250,6 +286,7 @@ func post(client *http.Client, o *Options, a arrival) Outcome {
 			out.Status = resp.StatusCode
 			out.Latency = time.Since(t0)
 			out.Deduped = resp.Header.Get("Idempotent-Replay") == "true"
+			out.Cache = resp.Header.Get("X-Result-Cache")
 			if resp.StatusCode != http.StatusOK {
 				var shed struct {
 					Reason string `json:"reason"`
@@ -304,6 +341,14 @@ func reduce(outcomes []Outcome, elapsed time.Duration) *Summary {
 			s.DedupHits++
 			cs.Deduped++
 		}
+		switch o.Cache {
+		case "hit":
+			s.CacheHits++
+			cs.CacheHits++
+		case "coalesced":
+			s.CacheCoalesced++
+			cs.CacheHits++
+		}
 		switch {
 		case o.Err != nil || o.Status == 0:
 			s.Transport++
@@ -350,6 +395,15 @@ func (s *Summary) Text() string {
 	if s.Retried > 0 || s.DedupHits > 0 {
 		fmt.Fprintf(&b, "  retried %d   dedup hits %d\n", s.Retried, s.DedupHits)
 	}
+	if s.CacheHits > 0 || s.CacheCoalesced > 0 {
+		served := s.CacheHits + s.CacheCoalesced
+		rate := 0.0
+		if s.OK > 0 {
+			rate = 100 * float64(served) / float64(s.OK)
+		}
+		fmt.Fprintf(&b, "  result cache: hits %d   coalesced %d   (%.1f%% of ok answers)\n",
+			s.CacheHits, s.CacheCoalesced, rate)
+	}
 	if s.OK > 0 {
 		fmt.Fprintf(&b, "  latency ms (ok): p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 			s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
@@ -361,7 +415,11 @@ func (s *Summary) Text() string {
 	sort.Strings(clients)
 	for _, c := range clients {
 		cs := s.PerClient[c]
-		fmt.Fprintf(&b, "  client %-6s sent %-5d ok %-5d shed %-5d\n", c, cs.Sent, cs.OK, cs.Shed)
+		fmt.Fprintf(&b, "  client %-6s sent %-5d ok %-5d shed %-5d", c, cs.Sent, cs.OK, cs.Shed)
+		if cs.CacheHits > 0 {
+			fmt.Fprintf(&b, " cache %-5d", cs.CacheHits)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

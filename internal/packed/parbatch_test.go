@@ -1,0 +1,103 @@
+package packed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vlsi"
+	"repro/internal/workload"
+)
+
+// TestComponentsBatchMatchesSerialLoop is the host-parallelism proof
+// for the batch entry points: ComponentsBatch spreads lanes across
+// host workers (forEachLane → par.Do), and this test pins its outputs
+// — every label vector and every completion time — against a plain
+// sequential loop of solo Components calls over the same graphs. Run
+// under -race (make race covers this package) it also proves the
+// lanes share no mutable state.
+func TestComponentsBatchMatchesSerialLoop(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			eng, err := EngineFor(n, vlsi.DefaultConfig(n*n), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const lanes = 9 // odd, > worker count, exercises uneven splits
+			gs := make([]*workload.Graph, lanes)
+			for p := range gs {
+				gs[p] = workload.NewRNG(uint64(1000*n+p)).Gnp(n, 2.0/float64(n))
+			}
+
+			labels, times := eng.ComponentsBatch(gs, 0)
+
+			for p, g := range gs {
+				wantLab, wantT := eng.Components(g, 0)
+				if times[p] != wantT {
+					t.Fatalf("lane %d time %d != serial %d", p, times[p], wantT)
+				}
+				if len(labels[p]) != len(wantLab) {
+					t.Fatalf("lane %d label length %d != %d", p, len(labels[p]), len(wantLab))
+				}
+				for v := range wantLab {
+					if labels[p][v] != wantLab[v] {
+						t.Fatalf("lane %d label[%d] = %d != serial %d", p, v, labels[p][v], wantLab[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClosureBatchMatchesSerialLoop is the same differential for
+// transitive closures: every reachability matrix and time must equal
+// the solo Closure call's, word for word.
+func TestClosureBatchMatchesSerialLoop(t *testing.T) {
+	const n = 64
+	eng, err := EngineFor(n, vlsi.DefaultConfig(n*n), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes = 7
+	gs := make([]*workload.Graph, lanes)
+	for p := range gs {
+		gs[p] = workload.NewRNG(uint64(77+p)).Gnp(n, 3.0/float64(n))
+	}
+
+	rs, times := eng.ClosureBatch(gs, 0)
+
+	for p, g := range gs {
+		wantR, wantT := eng.Closure(g, 0)
+		if times[p] != wantT {
+			t.Fatalf("lane %d time %d != serial %d", p, times[p], wantT)
+		}
+		if !rs[p].Equal(wantR) {
+			t.Fatalf("lane %d closure matrix diverges from serial", p)
+		}
+	}
+}
+
+// TestBatchRepeatedGraphsIdenticalLanes drives ComponentsBatch with
+// duplicate graphs — the shape the server's lane dedup collapses —
+// and checks duplicate lanes emit identical results, which is what
+// makes serving one lane's result for all duplicates sound.
+func TestBatchRepeatedGraphsIdenticalLanes(t *testing.T) {
+	const n = 32
+	eng, err := EngineFor(n, vlsi.DefaultConfig(n*n), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewRNG(5).Gnp(n, 2.0/float64(n))
+	gs := []*workload.Graph{g, g, g, g}
+	labels, times := eng.ComponentsBatch(gs, 0)
+	for p := 1; p < len(gs); p++ {
+		if times[p] != times[0] {
+			t.Fatalf("duplicate lane %d time %d != lane 0 time %d", p, times[p], times[0])
+		}
+		for v := range labels[0] {
+			if labels[p][v] != labels[0][v] {
+				t.Fatalf("duplicate lane %d label[%d] diverges", p, v)
+			}
+		}
+	}
+}

@@ -70,6 +70,16 @@ type Report struct {
 	// excluded from Same like JobID.
 	Replayed bool `json:"replayed,omitempty"`
 	Deduped  bool `json:"deduped,omitempty"`
+
+	// Result-cache metadata (otserve's compute-once/serve-many layer).
+	// Cached marks a response served from the stored bytes of an
+	// earlier execution of the same canonical spec; Coalesced marks a
+	// follower that received a concurrent leader's bytes without
+	// executing. Both are transport metadata, excluded from Same like
+	// Replayed and Deduped — the simulated content is byte-identical
+	// to a fresh execution either way.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Health flattens the fault/recovery ledger (fault.Health) for the
@@ -131,6 +141,8 @@ func (r *Report) Same(o *Report) bool {
 	a.SessionID, b.SessionID = "", ""
 	a.Replayed, b.Replayed = false, false
 	a.Deduped, b.Deduped = false, false
+	a.Cached, b.Cached = false, false
+	a.Coalesced, b.Coalesced = false, false
 	ah, bh := a.Health, b.Health
 	a.Health, b.Health = nil, nil
 	a.Correct, b.Correct = nil, nil

@@ -15,6 +15,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/mcache"
 	"repro/internal/report"
+	"repro/internal/rescache"
 )
 
 // Config tunes the service. The zero value of every field means its
@@ -57,6 +58,12 @@ type Config struct {
 	// SnapshotEvery compacts the journal once its replay tail reaches
 	// this many records (default 256; checked by the sweeper).
 	SnapshotEvery int
+	// ResultCacheBytes budgets the compute-once/serve-many result
+	// cache: finished response bytes keyed by canonical spec
+	// fingerprint, plus singleflight coalescing of concurrent
+	// identical specs. 0 means the rescache default (64 MiB);
+	// negative disables the layer entirely (every job executes).
+	ResultCacheBytes int64
 	// Now is the clock used by fairness, the breaker and session TTLs
 	// (tests).
 	Now func() time.Time
@@ -117,6 +124,7 @@ type Server struct {
 	cfg      Config
 	cache    *mcache.Cache
 	scache   *mcache.Cache // session machines; separate so sessions never starve job workers
+	resc     *rescache.Cache
 	executor *Executor
 	fairness *Fairness
 	breaker  *Breaker
@@ -158,7 +166,11 @@ func newServer(cfg Config) *Server {
 	s := &Server{cfg: cfg, dedup: newDedupTable()}
 	s.cache = mcache.NewWithCapacity(cfg.CacheCap)
 	s.scache = mcache.NewWithCapacity(cfg.MaxSessions)
+	if cfg.ResultCacheBytes >= 0 {
+		s.resc = rescache.New(cfg.ResultCacheBytes)
+	}
 	s.executor = NewExecutor(s.cache)
+	s.executor.resc = s.resc
 	s.fairness = NewFairness(cfg.Rate, cfg.Burst, cfg.Now)
 	s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerBase, cfg.BreakerMax, cfg.Now)
 	s.metrics = NewMetrics()
@@ -211,6 +223,9 @@ func (s *Server) Close() {
 // Metrics returns the current snapshot (also served at /metrics).
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.snapshot(s.cfg.QueueCap, s.cfg.Workers, s.cache, s.breaker, s.SessionCount())
+	if s.resc != nil {
+		snap.ResultCache = resultCacheSnapshot(s.resc.Stats())
+	}
 	if s.jl != nil {
 		snap.Durability = s.metrics.durability(s.jl.Stats())
 	}
@@ -245,18 +260,32 @@ func writeShed(w http.ResponseWriter, status int, reason, msg, jobID string, ret
 		RetryAfterMS: retryAfter.Milliseconds()})
 }
 
-// admit runs one job through the admission ladder: draining →
-// validation → breaker → fairness → bounded queue. On success the job
-// is queued and its handle returned; otherwise the outcome (status,
-// reason, retry-after) is returned for the handler to write.
-func (s *Server) admit(r *http.Request, spec *Job) (*queuedJob, int, string, string, time.Duration) {
+// shedOutcome is one admission-ladder refusal, carried between the
+// gate/enqueue helpers and the handlers (and relayed to coalesced
+// followers when their leader was shed).
+type shedOutcome struct {
+	status int
+	reason string
+	msg    string
+	retry  time.Duration
+}
+
+// gate runs one job through the pre-queue admission ladder: draining
+// → validation → breaker → fairness. On success it returns the
+// breaker-probe flag (the caller must Record or Release it); on
+// refusal it returns the shed outcome for the handler to write.
+// Everything after gate — result-cache lookup, coalescing, the
+// bounded queue — sees only jobs the ladder already admitted, which
+// is what keeps shed/breaker/fairness semantics identical with the
+// cache on or off.
+func (s *Server) gate(r *http.Request, spec *Job) (bool, *shedOutcome) {
 	if s.pool.Draining() {
 		s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
-		return nil, http.StatusServiceUnavailable, "draining", "server is draining", time.Second
+		return false, &shedOutcome{http.StatusServiceUnavailable, "draining", "server is draining", time.Second}
 	}
 	if err := spec.Validate(); err != nil {
 		s.metrics.add(func(m *Metrics) { m.invalid++ })
-		return nil, http.StatusBadRequest, "invalid", err.Error(), 0
+		return false, &shedOutcome{http.StatusBadRequest, "invalid", err.Error(), 0}
 	}
 	if spec.Client == "" {
 		spec.Client = r.Header.Get("X-Client-ID")
@@ -264,17 +293,31 @@ func (s *Server) admit(r *http.Request, spec *Job) (*queuedJob, int, string, str
 	allowed, probe, retry := s.breaker.Allow(spec.Class())
 	if !allowed {
 		s.metrics.add(func(m *Metrics) { m.rejectedBreaker++ })
-		return nil, http.StatusServiceUnavailable, "breaker_open",
-			fmt.Sprintf("circuit breaker open for class %s", spec.Class()), retry
+		return false, &shedOutcome{http.StatusServiceUnavailable, "breaker_open",
+			fmt.Sprintf("circuit breaker open for class %s", spec.Class()), retry}
 	}
 	if ok, retry := s.fairness.Allow(spec.Client); !ok {
-		if probe {
-			s.breaker.Release(spec.Class())
-		}
+		s.releaseProbe(spec, probe)
 		s.metrics.add(func(m *Metrics) { m.shedRateLimited++ })
-		return nil, http.StatusTooManyRequests, "rate_limited",
-			fmt.Sprintf("client %q over rate", spec.Client), retry
+		return false, &shedOutcome{http.StatusTooManyRequests, "rate_limited",
+			fmt.Sprintf("client %q over rate", spec.Client), retry}
 	}
+	return probe, nil
+}
+
+// releaseProbe returns a half-open breaker probe slot when the job's
+// path never reaches breaker.Record (cache hits, coalesced followers,
+// pre-queue sheds): the class must be able to probe again instead of
+// wedging half-open.
+func (s *Server) releaseProbe(spec *Job, probe bool) {
+	if probe {
+		s.breaker.Release(spec.Class())
+	}
+}
+
+// enqueue is the final, bounded-queue rung for a gated job: arm the
+// deadline context and submit to the worker pool.
+func (s *Server) enqueue(r *http.Request, spec *Job, probe bool) (*queuedJob, *shedOutcome) {
 	ctx := r.Context()
 	var cancel context.CancelFunc
 	if d := spec.Deadline(); d > 0 {
@@ -286,20 +329,18 @@ func (s *Server) admit(r *http.Request, spec *Job) (*queuedJob, int, string, str
 	}
 	qj := &queuedJob{spec: spec, probe: probe, ctx: ctx, cancel: cancel, res: make(chan result, 1)}
 	if err := s.pool.Submit(qj); err != nil {
-		if probe {
-			s.breaker.Release(spec.Class())
-		}
+		s.releaseProbe(spec, probe)
 		if cancel != nil {
 			cancel()
 		}
 		if errors.Is(err, ErrDraining) {
 			s.metrics.add(func(m *Metrics) { m.rejectedDrain++ })
-			return nil, http.StatusServiceUnavailable, "draining", "server is draining", time.Second
+			return nil, &shedOutcome{http.StatusServiceUnavailable, "draining", "server is draining", time.Second}
 		}
 		s.metrics.add(func(m *Metrics) { m.shedQueueFull++ })
-		return nil, http.StatusTooManyRequests, "queue_full", "admission queue full", s.retryAfterFull()
+		return nil, &shedOutcome{http.StatusTooManyRequests, "queue_full", "admission queue full", s.retryAfterFull()}
 	}
-	return qj, 0, "", "", 0
+	return qj, nil
 }
 
 // retryAfterFull estimates when queue space will exist: one mean
@@ -380,35 +421,46 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeShed(w, http.StatusInternalServerError, "failed", jerr.Error(), spec.ID, 0)
 		return
 	}
-	qj, status, reason, msg, retry := s.admit(r, &spec)
-	if qj == nil {
+	probe, shed := s.gate(r, &spec)
+	if shed != nil {
 		// Shed before executing: release the key so the retry gets a
 		// real attempt (only executed outcomes are deduplicated).
 		s.dedup.abort(key)
-		writeShed(w, status, reason, msg, spec.ID, retry)
+		writeShed(w, shed.status, shed.reason, shed.msg, spec.ID, shed.retry)
 		return
 	}
-	res, ok := awaitResult(qj)
-	if !ok {
-		// Deadline fired while we waited; give a raced delivery one
-		// grace read before conceding 504.
-		if res, ok = settleDeadline(qj, time.Millisecond); !ok {
-			s.dedup.abort(key)
-			writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", spec.ID, 0)
+
+	// Compute-once/serve-many: after the admission ladder, before the
+	// queue. A stored hit or a coalesced follower bypasses the pool —
+	// and the machine cache — entirely.
+	if s.resc != nil {
+		fp := spec.Fingerprint()
+		body, fl, leader := s.resc.Lookup(fp)
+		switch {
+		case body != nil:
+			s.releaseProbe(&spec, probe)
+			s.serveCachedBody(w, &spec, key, body, false)
+			return
+		case !leader:
+			s.releaseProbe(&spec, probe)
+			fo, ok := s.awaitFlight(r, &spec, fl)
+			if !ok {
+				s.dedup.abort(key)
+				writeShed(w, http.StatusGatewayTimeout, "deadline", "deadline exceeded", spec.ID, 0)
+				return
+			}
+			s.serveFollower(w, &spec, key, fo)
+			return
+		default:
+			fo := s.executeJob(r, &spec, probe)
+			s.resc.Resolve(fp, fl, fo, fo.body)
+			s.serveExecuted(w, &spec, key, fo)
 			return
 		}
 	}
-	if key != "" && res.rep != nil {
-		body := renderJSON(res.rep)
-		s.jmu.RLock()
-		s.journalRecord(&walRecord{T: "result", Key: key, Status: http.StatusOK, Body: body})
-		s.jmu.RUnlock()
-		s.dedup.finish(key, http.StatusOK, body, false)
-		writeRendered(w, http.StatusOK, body)
-		return
-	}
-	s.dedup.abort(key)
-	respond(w, res, spec.ID)
+
+	fo := s.executeJob(r, &spec, probe)
+	s.serveExecuted(w, &spec, key, fo)
 }
 
 // streamItem is one NDJSON line of an array submission.
@@ -439,8 +491,16 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []
 	}
 
 	type pending struct {
-		qj *queuedJob
-		id string
+		qj       *queuedJob
+		spec     *Job
+		id       string
+		fp       string           // cache fingerprint (leader only)
+		fl       *rescache.Flight // flight this job leads or follows
+		follower bool
+	}
+	shedItem := func(id string, shed *shedOutcome) streamItem {
+		return streamItem{JobID: id, Status: shed.reason, Error: shed.msg,
+			RetryAfterMS: shed.retry.Milliseconds()}
 	}
 	var admitted []pending
 	for _, spec := range specs {
@@ -460,14 +520,44 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []
 				continue
 			}
 		}
-		qj, _, reason, msg, retry := s.admit(r, spec)
-		if qj == nil {
-			enc.Encode(streamItem{JobID: spec.ID, Status: reason, Error: msg,
-				RetryAfterMS: retry.Milliseconds()})
+		probe, shed := s.gate(r, spec)
+		if shed != nil {
+			enc.Encode(shedItem(spec.ID, shed))
 			flush()
 			continue
 		}
-		admitted = append(admitted, pending{qj: qj, id: spec.ID})
+		if s.resc != nil {
+			fp := spec.Fingerprint()
+			body, fl, leader := s.resc.Lookup(fp)
+			switch {
+			case body != nil:
+				s.releaseProbe(spec, probe)
+				enc.Encode(streamItem{JobID: spec.ID, Status: "ok",
+					Report: cachedStreamReport(body, spec.ID, false)})
+				flush()
+				continue
+			case !leader:
+				s.releaseProbe(spec, probe)
+				admitted = append(admitted, pending{spec: spec, id: spec.ID, fl: fl, follower: true})
+				continue
+			}
+			qj, shed := s.enqueue(r, spec, probe)
+			if shed != nil {
+				s.resc.Resolve(fp, fl, flightOutcome{shed: shed}, nil)
+				enc.Encode(shedItem(spec.ID, shed))
+				flush()
+				continue
+			}
+			admitted = append(admitted, pending{qj: qj, spec: spec, id: spec.ID, fp: fp, fl: fl})
+			continue
+		}
+		qj, shed := s.enqueue(r, spec, probe)
+		if shed != nil {
+			enc.Encode(shedItem(spec.ID, shed))
+			flush()
+			continue
+		}
+		admitted = append(admitted, pending{qj: qj, spec: spec, id: spec.ID})
 	}
 
 	// Fan results into one channel so lines stream in completion
@@ -478,12 +568,32 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []
 	ch := make(chan done, len(admitted))
 	for _, p := range admitted {
 		go func(p pending) {
-			res, ok := awaitResult(p.qj)
-			if !ok {
-				if res, ok = settleDeadline(p.qj, time.Millisecond); !ok {
+			if p.follower {
+				fo, ok := s.awaitFlight(r, p.spec, p.fl)
+				if !ok {
 					ch <- done{streamItem{JobID: p.id, Status: "deadline", Error: "deadline exceeded"}}
 					return
 				}
+				ch <- done{followerItem(p.id, fo)}
+				return
+			}
+			res, ok := awaitResult(p.qj)
+			if !ok {
+				if res, ok = settleDeadline(p.qj, time.Millisecond); !ok {
+					if p.fl != nil {
+						s.resc.Resolve(p.fp, p.fl, flightOutcome{shed: &shedOutcome{
+							status: http.StatusGatewayTimeout, reason: "deadline", msg: "deadline exceeded"}}, nil)
+					}
+					ch <- done{streamItem{JobID: p.id, Status: "deadline", Error: "deadline exceeded"}}
+					return
+				}
+			}
+			if p.fl != nil {
+				fo := flightOutcome{res: res}
+				if res.rep != nil && res.err == nil {
+					fo.body = canonicalBody(res.rep)
+				}
+				s.resc.Resolve(p.fp, p.fl, fo, fo.body)
 			}
 			item := streamItem{JobID: p.id, Status: "ok", Report: res.rep}
 			if res.rep == nil {
@@ -499,6 +609,28 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, body []
 		d := <-ch
 		enc.Encode(d.item)
 		flush()
+	}
+}
+
+// followerItem renders a coalesced follower's stream envelope from
+// its leader's flight outcome.
+func followerItem(id string, fo flightOutcome) streamItem {
+	switch {
+	case fo.body != nil:
+		return streamItem{JobID: id, Status: "ok", Report: cachedStreamReport(fo.body, id, true)}
+	case fo.shed != nil:
+		return streamItem{JobID: id, Status: fo.shed.reason, Error: fo.shed.msg,
+			RetryAfterMS: fo.shed.retry.Milliseconds()}
+	default:
+		res := relayResult(fo.res, id)
+		item := streamItem{JobID: id, Status: "failed", Report: res.rep}
+		if res.rep != nil {
+			item.Status = "ok"
+		}
+		if res.err != nil {
+			item.Error = res.err.Error()
+		}
+		return item
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/rescache"
 	"repro/internal/vlsi"
 )
 
@@ -212,4 +213,38 @@ func (j *Job) modelName() string {
 // dedicated run, so coalescing is invisible in the report.
 func (j *Job) Batchable() bool {
 	return j.Alg == "sort" && j.network() == "otn" && j.Faults == 0 && !j.Supervised()
+}
+
+// jobFingerprint is the canonical, result-determining projection of a
+// Job: exactly the fields that change the simulated report, with
+// defaults applied so spelled-out and defaulted specs share a key.
+// Transport fields — ID, Client, IdemKey, DeadlineMS — are absent by
+// construction, which is the whole point: any client submitting the
+// same simulation gets the same fingerprint.
+type jobFingerprint struct {
+	Alg        string `json:"alg"`
+	Network    string `json:"network"`
+	Model      string `json:"model"`
+	N          int    `json:"n"`
+	Seed       uint64 `json:"seed"`
+	Packed     bool   `json:"packed"`
+	Faults     int    `json:"faults"`
+	Supervised bool   `json:"supervised"`
+	Events     int    `json:"events"`
+}
+
+// Fingerprint returns the job's result-cache key: a hash of the
+// canonical-JSON projection above. Packed is included even though the
+// packed engine's reports are pinned byte-identical to the scalar
+// path's — the key errs on the side of never sharing bytes across
+// execution engines.
+func (j *Job) Fingerprint() string {
+	fp := jobFingerprint{
+		Alg: j.Alg, Network: j.network(), Model: j.modelName(),
+		N: j.N, Seed: j.Seed, Packed: j.usesPacked(), Faults: j.Faults,
+	}
+	if j.Supervised() {
+		fp.Supervised, fp.Events = true, *j.Events
+	}
+	return rescache.Key(fp)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/mcache"
+	"repro/internal/rescache"
 	"repro/internal/tree"
 )
 
@@ -122,6 +123,13 @@ type Snapshot struct {
 	SessionUpdates   int64 `json:"session_updates"`
 	ShedSessionsFull int64 `json:"shed_sessions_full"`
 
+	// ResultCache is present only when the compute-once/serve-many
+	// result cache is enabled: how often identical specs were answered
+	// from stored bytes or coalesced onto an in-flight leader, what the
+	// byte-budgeted LRU holds, and how many batch lanes were deduplicated
+	// against an identical sibling.
+	ResultCache *ResultCacheSnapshot `json:"result_cache,omitempty"`
+
 	// Durability is present only when the server journals (-journal):
 	// WAL volume and fsync batching, what the last recovery replayed
 	// and how long it took, and how often idempotent retries were
@@ -143,6 +151,36 @@ type Snapshot struct {
 		Size    int     `json:"size"`
 		HitRate float64 `json:"hit_rate"`
 	} `json:"plan_cache"`
+}
+
+// ResultCacheSnapshot is the /metrics result-cache block (cache-enabled
+// servers only). HitRate counts stored hits and coalesced followers
+// against all lookups — both kinds were answered without executing.
+type ResultCacheSnapshot struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	Stores    int64   `json:"stores"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Budget    int64   `json:"budget_bytes"`
+	LaneDedup int64   `json:"lane_dedup"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// resultCache converts the cache's own stats into the /metrics block.
+func resultCacheSnapshot(s rescache.Stats) *ResultCacheSnapshot {
+	rc := &ResultCacheSnapshot{
+		Hits: s.Hits, Misses: s.Misses, Coalesced: s.Coalesced,
+		Stores: s.Stores, Evictions: s.Evictions,
+		Entries: s.Entries, Bytes: s.Bytes, Budget: s.Budget,
+		LaneDedup: s.LaneDedup,
+	}
+	if total := s.Hits + s.Coalesced + s.Misses; total > 0 {
+		rc.HitRate = float64(s.Hits+s.Coalesced) / float64(total)
+	}
+	return rc
 }
 
 // DurabilitySnapshot is the /metrics durability block (journaling

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/rescache"
+)
+
+// This file wires the compute-once/serve-many result cache
+// (internal/rescache) into the job handlers. Placement in the ladder
+// is deliberate: the cache is consulted AFTER draining/validation/
+// breaker/fairness — so shed semantics are identical with the cache
+// on or off — and BEFORE the bounded queue and machine checkout, so
+// stored hits and coalesced followers never hold a worker slot or a
+// machine.
+//
+// Orthogonality to idempotency dedup: the dedup table answers
+// *retries of one client's key* with the exact bytes that client was
+// first promised (its own job_id included); the result cache answers
+// *any client's identical spec* with canonical bytes that each
+// response re-labels with its own job_id and a cached/coalesced mark.
+// A keyed request that hits the result cache still journals its
+// result record and publishes its (patched) bytes under its key, so
+// the two layers compose.
+
+// flightOutcome is what a leader publishes on its flight: the
+// canonical response bytes when execution succeeded, or the refusal /
+// raw result followers must relay when it did not.
+type flightOutcome struct {
+	body []byte       // canonical bytes; non-nil iff a cacheable success
+	res  result       // the executed result (error relay)
+	shed *shedOutcome // set when the leader was shed after gating
+}
+
+// executeJob runs one gated job through the queue and waits for its
+// result, folding every terminal state into a flightOutcome.
+func (s *Server) executeJob(r *http.Request, spec *Job, probe bool) flightOutcome {
+	qj, shed := s.enqueue(r, spec, probe)
+	if shed != nil {
+		return flightOutcome{shed: shed}
+	}
+	res, ok := awaitResult(qj)
+	if !ok {
+		// Deadline fired while we waited; give a raced delivery one
+		// grace read before conceding 504.
+		if res, ok = settleDeadline(qj, time.Millisecond); !ok {
+			return flightOutcome{shed: &shedOutcome{
+				status: http.StatusGatewayTimeout, reason: "deadline", msg: "deadline exceeded"}}
+		}
+	}
+	fo := flightOutcome{res: res}
+	if res.rep != nil && res.err == nil {
+		fo.body = canonicalBody(res.rep)
+	}
+	return fo
+}
+
+// awaitFlight blocks a coalesced follower on its leader's flight,
+// bounded by the follower's own deadline and request context.
+func (s *Server) awaitFlight(r *http.Request, spec *Job, fl *rescache.Flight) (flightOutcome, bool) {
+	var dl <-chan time.Time
+	if d := spec.Deadline(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		dl = t.C
+	}
+	select {
+	case <-fl.Done():
+		v, _ := fl.Value()
+		fo, ok := v.(flightOutcome)
+		return fo, ok
+	case <-dl:
+		return flightOutcome{}, false
+	case <-r.Context().Done():
+		return flightOutcome{}, false
+	}
+}
+
+// serveExecuted writes a leader's (or, cache off, any executed job's)
+// outcome — exactly the response the pre-cache server wrote.
+func (s *Server) serveExecuted(w http.ResponseWriter, spec *Job, key string, fo flightOutcome) {
+	if fo.shed != nil {
+		s.dedup.abort(key)
+		writeShed(w, fo.shed.status, fo.shed.reason, fo.shed.msg, spec.ID, fo.shed.retry)
+		return
+	}
+	if key != "" && fo.res.rep != nil {
+		body := renderJSON(fo.res.rep)
+		s.jmu.RLock()
+		s.journalRecord(&walRecord{T: "result", Key: key, Status: http.StatusOK, Body: body})
+		s.jmu.RUnlock()
+		s.dedup.finish(key, http.StatusOK, body, false)
+		writeRendered(w, http.StatusOK, body)
+		return
+	}
+	s.dedup.abort(key)
+	respond(w, fo.res, spec.ID)
+}
+
+// serveCachedBody answers a request from canonical cached bytes: the
+// body is re-labeled with this request's job id and its cache mark,
+// the X-Result-Cache header names how it was served, and a keyed
+// request still journals and publishes its bytes for idempotent
+// retries.
+func (s *Server) serveCachedBody(w http.ResponseWriter, spec *Job, key string, body []byte, coalesced bool) {
+	rendered, err := patchCachedBody(body, spec.ID, coalesced)
+	if err != nil {
+		// Corrupt cached bytes would be a bug; fail the request loudly
+		// rather than serve garbage.
+		s.dedup.abort(key)
+		writeShed(w, http.StatusInternalServerError, "failed", err.Error(), spec.ID, 0)
+		return
+	}
+	mark := "hit"
+	if coalesced {
+		mark = "coalesced"
+	}
+	w.Header().Set("X-Result-Cache", mark)
+	if key != "" {
+		s.jmu.RLock()
+		s.journalRecord(&walRecord{T: "result", Key: key, Status: http.StatusOK, Body: rendered})
+		s.jmu.RUnlock()
+		s.dedup.finish(key, http.StatusOK, rendered, false)
+	}
+	writeRendered(w, http.StatusOK, rendered)
+}
+
+// serveFollower relays a leader's outcome to a coalesced follower.
+func (s *Server) serveFollower(w http.ResponseWriter, spec *Job, key string, fo flightOutcome) {
+	switch {
+	case fo.body != nil:
+		s.serveCachedBody(w, spec, key, fo.body, true)
+	case fo.shed != nil:
+		s.dedup.abort(key)
+		writeShed(w, fo.shed.status, fo.shed.reason, fo.shed.msg, spec.ID, fo.shed.retry)
+	default:
+		s.dedup.abort(key)
+		respond(w, relayResult(fo.res, spec.ID), spec.ID)
+	}
+}
+
+// relayResult re-labels a leader's executed result for a follower:
+// same simulated content and error, the follower's job id, and the
+// coalesced mark (the follower did not execute).
+func relayResult(res result, jobID string) result {
+	if res.rep == nil {
+		return res
+	}
+	rep := *res.rep
+	rep.JobID = jobID
+	rep.Coalesced = true
+	return result{rep: &rep, err: res.err}
+}
+
+// canonicalBody renders a successful report stripped of per-request
+// transport identity — job id and every serving-mode mark — so one
+// stored entry can answer any client. patchCachedBody re-labels it
+// per response; the round trip is byte-exact for every simulated
+// field (report.Same is the pinned equivalence).
+func canonicalBody(rep *report.Report) []byte {
+	c := *rep
+	c.JobID = ""
+	c.Replayed, c.Deduped = false, false
+	c.Cached, c.Coalesced = false, false
+	return renderJSON(&c)
+}
+
+// patchCachedBody turns canonical cached bytes into one response's
+// bytes: unmarshal, re-label, re-render with the same encoder that
+// produced the original.
+func patchCachedBody(body []byte, jobID string, coalesced bool) ([]byte, error) {
+	var rep report.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("result cache: stored bytes: %w", err)
+	}
+	rep.JobID = jobID
+	if coalesced {
+		rep.Coalesced = true
+	} else {
+		rep.Cached = true
+	}
+	return renderJSON(&rep), nil
+}
+
+// cachedStreamReport is patchCachedBody for the NDJSON stream, which
+// embeds the report object instead of raw bytes.
+func cachedStreamReport(body []byte, jobID string, coalesced bool) *report.Report {
+	var rep report.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil
+	}
+	rep.JobID = jobID
+	if coalesced {
+		rep.Coalesced = true
+	} else {
+		rep.Cached = true
+	}
+	return &rep
+}
